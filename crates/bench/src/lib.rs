@@ -1,0 +1,104 @@
+//! Shared workload generators for the experiment benches (E1–E10).
+//!
+//! The paper has no empirical section; EXPERIMENTS.md defines one experiment
+//! per theorem and maps each to a bench group in
+//! `benches/experiments.rs`. This library builds the workloads so that
+//! benches and EXPERIMENTS.md tables stay in sync.
+
+use dds_core::{Engine, FreeRelationalClass, HomClass, SymbolicClass};
+use dds_structure::{Element, Schema, Structure};
+use dds_system::{System, SystemBuilder};
+use std::sync::Arc;
+
+/// The graph schema `{E/2, red/1}` used by Examples 1 and 2.
+pub fn graph_schema() -> Arc<Schema> {
+    let mut s = Schema::new();
+    s.add_relation("E", 2).unwrap();
+    s.add_relation("red", 1).unwrap();
+    s.finish()
+}
+
+/// The paper's Example 1 system (odd red cycles).
+pub fn example1(schema: Arc<Schema>) -> System {
+    let mut b = SystemBuilder::new(schema, &["x", "y"]);
+    b.state("start").initial();
+    b.state("q0");
+    b.state("q1");
+    b.state("end").accepting();
+    b.rule("start", "q0", "x_old = x_new & x_new = y_old & y_old = y_new")
+        .unwrap();
+    b.rule("q0", "q1", "x_old = x_new & E(y_old, y_new) & red(y_new)")
+        .unwrap();
+    b.rule("q1", "q0", "x_old = x_new & E(y_old, y_new) & red(y_new)")
+        .unwrap();
+    b.rule("q1", "end", "x_old = x_new & x_new = y_old & y_old = y_new")
+        .unwrap();
+    b.finish().unwrap()
+}
+
+/// A chain system with `n` interior states, each stepping along an edge —
+/// scales the state count while keeping registers fixed (E4).
+pub fn chain_system(schema: Arc<Schema>, n: usize) -> System {
+    let mut b = SystemBuilder::new(schema, &["x"]);
+    b.state("s0").initial();
+    for i in 1..=n {
+        b.state(&format!("s{i}"));
+    }
+    b.state("acc").accepting();
+    for i in 0..n {
+        b.rule(&format!("s{i}"), &format!("s{}", i + 1), "E(x_old, x_new)")
+            .unwrap();
+    }
+    b.rule(&format!("s{n}"), "acc", "red(x_old) & x_old = x_new")
+        .unwrap();
+    b.finish().unwrap()
+}
+
+/// A `k`-register system over the pure-equality schema demanding pairwise
+/// distinct register values — scales the register count (E4).
+pub fn distinct_registers_system(k: usize) -> System {
+    let schema: Arc<Schema> = Schema::new().finish();
+    let names: Vec<String> = (0..k).map(|i| format!("r{i}")).collect();
+    let name_refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+    let mut b = SystemBuilder::new(schema, &name_refs);
+    b.state("s").initial();
+    b.state("t").accepting();
+    let mut parts = Vec::new();
+    for i in 0..k {
+        parts.push(format!("r{i}_old = r{i}_new"));
+        for j in i + 1..k {
+            parts.push(format!("r{i}_old != r{j}_old"));
+        }
+    }
+    b.rule("s", "t", &parts.join(" & ")).unwrap();
+    b.finish().unwrap()
+}
+
+/// Template of size `n`: red cycle of length `n` plus an absorbing white
+/// node (odd red cycles embeddable iff `n` has an odd divisor cycle... used
+/// as a size sweep for Theorem 4's template-on-input claim, E3).
+pub fn cycle_template(schema: Arc<Schema>, n: usize) -> HomClass {
+    let e = schema.lookup("E").unwrap();
+    let red = schema.lookup("red").unwrap();
+    let mut h = Structure::new(schema, n + 1);
+    for i in 0..n {
+        h.add_fact(red, &[Element(i as u32)]).unwrap();
+        h.add_fact(e, &[Element(i as u32), Element(((i + 1) % n) as u32)])
+            .unwrap();
+    }
+    let w = Element(n as u32);
+    h.add_fact(e, &[w, w]).unwrap();
+    HomClass::new(h)
+}
+
+/// Convenience: run the engine and return (nonempty, configs explored).
+pub fn run_engine<C: SymbolicClass>(class: &C, system: &System) -> (bool, usize) {
+    let outcome = Engine::new(class, system).run();
+    (outcome.is_nonempty(), outcome.stats().configs_explored)
+}
+
+/// Convenience: free-class run on the graph schema.
+pub fn run_free(system: &System) -> (bool, usize) {
+    let class = FreeRelationalClass::new(system.schema().clone());
+    run_engine(&class, system)
+}

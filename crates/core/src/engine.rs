@@ -1,0 +1,421 @@
+//! The Theorem 5 decision procedure, determinised.
+//!
+//! The paper's algorithm nondeterministically guesses a sequence of small
+//! configurations connected by sub-transitions; correctness is Appendix C's
+//! completeness/soundness argument. We determinise by breadth-first search
+//! over canonical configurations:
+//!
+//! * **states** of the search are pairs `(control state, canonical small
+//!   configuration)`;
+//! * **edges** are the class's sub-transition successors under each rule's
+//!   guard;
+//! * acceptance is reached exactly when the system has an accepting run
+//!   driven by some member of the class.
+//!
+//! On a non-empty answer the engine extracts the trace and asks the class to
+//! *concretize* it into an actual database and run, then re-validates the
+//! pair against the independent explicit model checker — a machine-checked
+//! soundness certificate for every positive answer.
+//!
+//! Existential guards are accepted and compiled away up front (Fact 2).
+
+use crate::class::{SymbolicClass, Trace, TraceStep};
+use dds_structure::Structure;
+use dds_system::{eliminate_existentials, Run, StateId, System};
+use std::collections::HashSet;
+
+/// Tunables for the search.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineOptions {
+    /// Hard cap on explored configurations; hitting it yields
+    /// [`Outcome::ResourceLimit`] instead of an unsound "empty".
+    pub max_configs: usize,
+    /// Whether to concretize (and certify) witnesses for non-empty answers.
+    pub concretize: bool,
+}
+
+impl Default for EngineOptions {
+    fn default() -> EngineOptions {
+        EngineOptions {
+            max_configs: 1_000_000,
+            concretize: true,
+        }
+    }
+}
+
+/// Search statistics, reported with every outcome (experiment E4 plots
+/// these against the paper's `log n · poly(blowup(2k))` bound).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Distinct initial `(state, config)` pairs.
+    pub initial_configs: usize,
+    /// Distinct `(state, config)` pairs explored.
+    pub configs_explored: usize,
+    /// Sub-transition computations performed (rule × configuration pairs).
+    pub transitions_computed: usize,
+}
+
+/// Result of the emptiness check.
+#[derive(Clone, Debug)]
+pub enum Outcome<Cfg> {
+    /// No database of the class drives an accepting run.
+    Empty {
+        /// Search statistics.
+        stats: EngineStats,
+    },
+    /// Some database drives an accepting run.
+    NonEmpty {
+        /// The abstract sequence of small configurations found.
+        trace: Trace<Cfg>,
+        /// A concrete certified witness (database + run), when the class
+        /// supports concretization.
+        witness: Option<(Structure, Run)>,
+        /// Search statistics.
+        stats: EngineStats,
+    },
+    /// The configured exploration budget was exhausted before a decision.
+    ResourceLimit {
+        /// Search statistics.
+        stats: EngineStats,
+    },
+}
+
+impl<Cfg> Outcome<Cfg> {
+    /// True for [`Outcome::NonEmpty`].
+    pub fn is_nonempty(&self) -> bool {
+        matches!(self, Outcome::NonEmpty { .. })
+    }
+
+    /// True for [`Outcome::Empty`].
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Outcome::Empty { .. })
+    }
+
+    /// The search statistics.
+    pub fn stats(&self) -> &EngineStats {
+        match self {
+            Outcome::Empty { stats }
+            | Outcome::NonEmpty { stats, .. }
+            | Outcome::ResourceLimit { stats } => stats,
+        }
+    }
+
+    /// The certified witness, if any.
+    pub fn witness(&self) -> Option<&(Structure, Run)> {
+        match self {
+            Outcome::NonEmpty { witness, .. } => witness.as_ref(),
+            _ => None,
+        }
+    }
+}
+
+/// The emptiness engine for a class and a system.
+pub struct Engine<'a, C: SymbolicClass> {
+    class: &'a C,
+    original: &'a System,
+    compiled: System,
+    options: EngineOptions,
+}
+
+struct Node<Cfg> {
+    state: StateId,
+    config: Cfg,
+    parent: Option<(usize, usize)>, // (arena index, rule index)
+}
+
+impl<'a, C: SymbolicClass> Engine<'a, C> {
+    /// Prepares the engine, compiling existential guards away (Fact 2).
+    ///
+    /// # Panics
+    /// Panics when a guard is outside the existential fragment — systems
+    /// built through [`dds_system::SystemBuilder`] never are.
+    pub fn new(class: &'a C, system: &'a System) -> Engine<'a, C> {
+        assert_eq!(
+            system.schema(),
+            class.schema(),
+            "system and class must share a schema"
+        );
+        let compiled = eliminate_existentials(system)
+            .expect("guards must be existential formulas (Fact 2)");
+        Engine {
+            class,
+            original: system,
+            compiled,
+            options: EngineOptions::default(),
+        }
+    }
+
+    /// Overrides the default options.
+    pub fn with_options(mut self, options: EngineOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// The compiled (quantifier-free) system the search actually runs on.
+    pub fn compiled_system(&self) -> &System {
+        &self.compiled
+    }
+
+    /// Decides emptiness.
+    pub fn run(&self) -> Outcome<C::Config> {
+        let k = self.compiled.num_registers();
+        let mut stats = EngineStats::default();
+        let mut arena: Vec<Node<C::Config>> = Vec::new();
+        let mut seen: HashSet<(StateId, C::Config)> = HashSet::new();
+
+        let initial = self.class.initial_configs(k);
+        for &q in self.compiled.initial() {
+            for cfg in &initial {
+                if seen.insert((q, cfg.clone())) {
+                    arena.push(Node {
+                        state: q,
+                        config: cfg.clone(),
+                        parent: None,
+                    });
+                }
+            }
+        }
+        stats.initial_configs = arena.len();
+
+        let mut head = 0;
+        while head < arena.len() {
+            let idx = head;
+            head += 1;
+            stats.configs_explored += 1;
+            if self.compiled.is_accepting(arena[idx].state) {
+                return self.accept(idx, &arena, stats);
+            }
+            if arena.len() > self.options.max_configs {
+                return Outcome::ResourceLimit { stats };
+            }
+            let state = arena[idx].state;
+            let config = arena[idx].config.clone();
+            for (rule_idx, rule) in self.compiled.rules().iter().enumerate() {
+                if rule.from != state {
+                    continue;
+                }
+                stats.transitions_computed += 1;
+                for succ in self.class.transitions(&config, &rule.guard) {
+                    if seen.insert((rule.to, succ.clone())) {
+                        arena.push(Node {
+                            state: rule.to,
+                            config: succ,
+                            parent: Some((idx, rule_idx)),
+                        });
+                    }
+                }
+            }
+        }
+        Outcome::Empty { stats }
+    }
+
+    fn accept(
+        &self,
+        idx: usize,
+        arena: &[Node<C::Config>],
+        stats: EngineStats,
+    ) -> Outcome<C::Config> {
+        // Rebuild the trace root-to-accepting.
+        let mut steps = Vec::new();
+        let mut cur = idx;
+        loop {
+            let node = &arena[cur];
+            steps.push(TraceStep {
+                state: node.state,
+                config: node.config.clone(),
+                rule: node.parent.map(|(_, r)| r),
+            });
+            match node.parent {
+                Some((p, _)) => cur = p,
+                None => break,
+            }
+        }
+        steps.reverse();
+        let trace = Trace { steps };
+
+        let witness = if self.options.concretize {
+            let w = self.class.concretize(&self.compiled, &trace);
+            if let Some((db, run)) = &w {
+                // Certify against the reference semantics — both the
+                // compiled system and (projected) the original one.
+                self.compiled
+                    .check_run(db, run, true)
+                    .expect("engine produced a witness the model checker rejects");
+                let projected = run.project_registers(self.original.num_registers());
+                self.original
+                    .check_run(db, &projected, true)
+                    .expect("witness fails against the original system");
+            }
+            w
+        } else {
+            None
+        };
+        Outcome::NonEmpty {
+            trace,
+            witness,
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::free::FreeRelationalClass;
+    use crate::hom::HomClass;
+    use dds_structure::{Element, Schema};
+    use dds_system::SystemBuilder;
+    use std::sync::Arc;
+
+    fn graph_schema() -> Arc<Schema> {
+        let mut s = Schema::new();
+        s.add_relation("E", 2).unwrap();
+        s.add_relation("red", 1).unwrap();
+        s.finish()
+    }
+
+    /// The paper's Example 1 system.
+    fn example1(schema: Arc<Schema>) -> dds_system::System {
+        let mut b = SystemBuilder::new(schema, &["x", "y"]);
+        b.state("start").initial();
+        b.state("q0");
+        b.state("q1");
+        b.state("end").accepting();
+        b.rule("start", "q0", "x_old = x_new & x_new = y_old & y_old = y_new")
+            .unwrap();
+        b.rule("q0", "q1", "x_old = x_new & E(y_old, y_new) & red(y_new)")
+            .unwrap();
+        b.rule("q1", "q0", "x_old = x_new & E(y_old, y_new) & red(y_new)")
+            .unwrap();
+        b.rule("q1", "end", "x_old = x_new & x_new = y_old & y_old = y_new")
+            .unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn example1_nonempty_over_free_class_with_certificate() {
+        let schema = graph_schema();
+        let system = example1(schema.clone());
+        let class = FreeRelationalClass::new(schema);
+        let outcome = Engine::new(&class, &system).run();
+        assert!(outcome.is_nonempty());
+        let (db, run) = outcome.witness().expect("free class concretizes");
+        // Certified internally already; sanity-check shape: a shortest odd
+        // red cycle is a loop on one red node.
+        system.check_run(db, run, true).unwrap();
+        assert!(db.size() >= 1);
+        assert_eq!(run.states.len(), 4); // start, q0, q1, end
+    }
+
+    /// Example 2: over HOM(H) with H the "no odd red cycles" template, the
+    /// same system is empty.
+    #[test]
+    fn example2_empty_over_hom_template() {
+        // Template: red node and white node; edges everywhere EXCEPT
+        // red->red stays (cycle through red allowed?) — the paper's H kills
+        // odd red cycles: a graph maps to H iff no odd red cycle. Take H =
+        // two red nodes r0, r1 with edges r0<->r1 (no loops) plus a white
+        // node w with all edges to/from everything including itself:
+        // red cycles must alternate r0/r1, hence are even.
+        let schema = graph_schema();
+        let e = schema.lookup("E").unwrap();
+        let red = schema.lookup("red").unwrap();
+        let mut h = Structure::new(schema.clone(), 3);
+        let (r0, r1, w) = (Element(0), Element(1), Element(2));
+        h.add_fact(red, &[r0]).unwrap();
+        h.add_fact(red, &[r1]).unwrap();
+        for (a, b) in [
+            (r0, r1),
+            (r1, r0),
+            (r0, w),
+            (w, r0),
+            (r1, w),
+            (w, r1),
+            (w, w),
+        ] {
+            h.add_fact(e, &[a, b]).unwrap();
+        }
+        let system = example1(schema);
+        let class = HomClass::new(h);
+        let outcome = Engine::new(&class, &system).run();
+        assert!(outcome.is_empty(), "odd red cycles cannot map to H");
+    }
+
+    #[test]
+    fn hom_with_permissive_template_is_nonempty() {
+        // Template with a red loop: odd red cycles map fine.
+        let schema = graph_schema();
+        let e = schema.lookup("E").unwrap();
+        let red = schema.lookup("red").unwrap();
+        let mut h = Structure::new(schema.clone(), 1);
+        h.add_fact(red, &[Element(0)]).unwrap();
+        h.add_fact(e, &[Element(0), Element(0)]).unwrap();
+        let system = example1(schema);
+        let class = HomClass::new(h);
+        let outcome = Engine::new(&class, &system).run();
+        assert!(outcome.is_nonempty());
+        let (db, run) = outcome.witness().expect("hom class concretizes");
+        system.check_run(db, run, true).unwrap();
+        // The σ-projection maps homomorphically to the template.
+        assert!(
+            dds_structure::morphism::find_homomorphism(db, class.template()).is_some()
+        );
+    }
+
+    #[test]
+    fn unsatisfiable_guard_is_empty() {
+        let schema = graph_schema();
+        let mut b = SystemBuilder::new(schema.clone(), &["x"]);
+        b.state("s").initial();
+        b.state("t").accepting();
+        b.rule("s", "t", "x_old = x_new & x_old != x_new").unwrap();
+        let system = b.finish().unwrap();
+        let class = FreeRelationalClass::new(schema);
+        assert!(Engine::new(&class, &system).run().is_empty());
+    }
+
+    #[test]
+    fn existential_guards_compiled_and_solved() {
+        let schema = graph_schema();
+        let mut b = SystemBuilder::new(schema.clone(), &["x"]);
+        b.state("s").initial();
+        b.state("m");
+        b.state("t").accepting();
+        // Two hops to a red node, one existential witness per step: the
+        // compiled system has 2 registers (cost grows as 2^(2k)^arity, so
+        // tests keep k small; see `existential_two_witnesses` for k=3).
+        b.rule("s", "m", "x_new = x_new & (exists u . E(x_old, u) & u = x_new)")
+            .unwrap();
+        b.rule("m", "t", "x_old = x_new & (exists u . E(x_old, u) & red(u))")
+            .unwrap();
+        let system = b.finish().unwrap();
+        let class = FreeRelationalClass::new(schema);
+        let outcome = Engine::new(&class, &system).run();
+        assert!(outcome.is_nonempty());
+        let (db, run) = outcome.witness().expect("certified");
+        // The run projected to 1 register validates against the original
+        // (existential) system.
+        system
+            .check_run(db, &run.project_registers(1), true)
+            .unwrap();
+    }
+
+    /// Same as above with a two-variable block (compiled k = 3). Runs in
+    /// minutes — the enumeration is exponential in `k`, matching the
+    /// paper's PSpace-space/exponential-time bound — so it is ignored in
+    /// routine runs: `cargo test -- --ignored` exercises it.
+    #[test]
+    #[ignore = "exponential in registers; run with --ignored"]
+    fn existential_two_witnesses() {
+        let schema = graph_schema();
+        let mut b = SystemBuilder::new(schema.clone(), &["x"]);
+        b.state("s").initial();
+        b.state("t").accepting();
+        b.rule("s", "t", "x_old = x_new & (exists u v . E(x_old, u) & E(u, v) & red(v))")
+            .unwrap();
+        let system = b.finish().unwrap();
+        let class = FreeRelationalClass::new(schema);
+        let outcome = Engine::new(&class, &system).run();
+        assert!(outcome.is_nonempty());
+    }
+}

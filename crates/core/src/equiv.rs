@@ -1,0 +1,230 @@
+//! Finite equivalence relations (Example 3).
+//!
+//! The class of all finite structures `⟨A, ~⟩` where `~` is an equivalence
+//! relation is Fraïssé; it is also exactly the shape of the data part of the
+//! `⊗ ⟨ℕ,=⟩` product (§4.4), which reuses the block-extension enumeration
+//! implemented here.
+
+use crate::amalgam::{placement_contexts, point_patterns, AmalgamClass, Hint};
+use crate::class::Pointed;
+use dds_structure::{Element, Schema, Structure, SymbolId};
+use std::sync::Arc;
+
+/// All finite equivalence relations, over the schema with one binary
+/// relation `~`.
+#[derive(Clone, Debug)]
+pub struct EquivalenceClass {
+    schema: Arc<Schema>,
+    sim: SymbolId,
+}
+
+impl EquivalenceClass {
+    /// Creates the class (and its schema, exposed via `schema()`).
+    pub fn new() -> EquivalenceClass {
+        let mut sc = Schema::new();
+        let sim = sc.add_relation("~", 2).unwrap();
+        EquivalenceClass {
+            schema: sc.finish(),
+            sim,
+        }
+    }
+
+    /// The `~` symbol.
+    pub fn sim(&self) -> SymbolId {
+        self.sim
+    }
+
+    /// Builds the structure with the given block assignment (`blocks[e]` is
+    /// the block id of element `e`); `~` is reflexive-symmetric-transitive
+    /// by construction.
+    pub fn from_blocks(&self, blocks: &[usize]) -> Structure {
+        let mut s = Structure::new(self.schema.clone(), blocks.len());
+        for (i, bi) in blocks.iter().enumerate() {
+            for (j, bj) in blocks.iter().enumerate() {
+                if bi == bj {
+                    s.add_fact(
+                        self.sim,
+                        &[Element::from_index(i), Element::from_index(j)],
+                    )
+                    .unwrap();
+                }
+            }
+        }
+        s
+    }
+
+    /// Reads the block assignment back from a member structure.
+    pub fn blocks_of(&self, s: &Structure) -> Vec<usize> {
+        let mut blocks: Vec<usize> = vec![usize::MAX; s.size()];
+        let mut next = 0;
+        for e in s.elements() {
+            if blocks[e.index()] == usize::MAX {
+                blocks[e.index()] = next;
+                for f in s.elements() {
+                    if s.holds(self.sim, &[e, f]) {
+                        blocks[f.index()] = next;
+                    }
+                }
+                next += 1;
+            }
+        }
+        blocks
+    }
+
+    /// Membership: `~` is reflexive, symmetric and transitive.
+    pub fn is_member(&self, s: &Structure) -> bool {
+        for a in s.elements() {
+            if !s.holds(self.sim, &[a, a]) {
+                return false;
+            }
+            for b in s.elements() {
+                if s.holds(self.sim, &[a, b]) != s.holds(self.sim, &[b, a]) {
+                    return false;
+                }
+                for c in s.elements() {
+                    if s.holds(self.sim, &[a, b])
+                        && s.holds(self.sim, &[b, c])
+                        && !s.holds(self.sim, &[a, c])
+                    {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+impl Default for EquivalenceClass {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// All extensions of an existing block assignment by `extra` new elements:
+/// each new element joins an existing block or a (normalized) new block.
+/// Shared with the data-value product.
+pub fn block_extensions(old_blocks: &[usize], extra: usize) -> Vec<Vec<usize>> {
+    let base_count = old_blocks.iter().copied().max().map_or(0, |m| m + 1);
+    let mut out = Vec::new();
+    let mut cur = old_blocks.to_vec();
+    fn go(
+        extra: usize,
+        next_new: usize,
+        base_count: usize,
+        cur: &mut Vec<usize>,
+        out: &mut Vec<Vec<usize>>,
+    ) {
+        if extra == 0 {
+            out.push(cur.clone());
+            return;
+        }
+        for b in 0..next_new {
+            cur.push(b);
+            go(extra - 1, next_new.max(b + 1), base_count, cur, out);
+            cur.pop();
+        }
+        // A fresh block.
+        cur.push(next_new);
+        go(extra - 1, next_new + 1, base_count, cur, out);
+        cur.pop();
+    }
+    go(extra, base_count, base_count, &mut cur, &mut out);
+    out
+}
+
+impl AmalgamClass for EquivalenceClass {
+    fn internal_schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    fn public_schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    fn initial_pointed(&self, k: usize) -> Vec<Pointed> {
+        let mut out = Vec::new();
+        for pattern in point_patterns(k) {
+            let m = pattern.iter().copied().max().map_or(0, |x| x + 1);
+            let points: Vec<Element> = pattern.iter().map(|&c| Element::from_index(c)).collect();
+            for blocks in point_patterns(m) {
+                out.push(Pointed::new(self.from_blocks(&blocks), points.clone()));
+            }
+        }
+        out
+    }
+
+    fn amalgams(&self, base: &Pointed, _hints: &[Hint]) -> Vec<Pointed> {
+        let k = base.points.len();
+        let old_blocks = self.blocks_of(&base.structure);
+        let mut out = Vec::new();
+        for ctx in placement_contexts(&base.structure, k) {
+            for blocks in block_extensions(&old_blocks, ctx.fresh.len()) {
+                out.push(Pointed::new(
+                    self.from_blocks(&blocks),
+                    ctx.new_points.clone(),
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class::SymbolicClass;
+
+    #[test]
+    fn blocks_roundtrip() {
+        let class = EquivalenceClass::new();
+        let s = class.from_blocks(&[0, 1, 0, 2]);
+        assert!(class.is_member(&s));
+        assert_eq!(class.blocks_of(&s), vec![0, 1, 0, 2]);
+        assert!(s.holds(class.sim(), &[Element(0), Element(2)]));
+        assert!(!s.holds(class.sim(), &[Element(0), Element(1)]));
+    }
+
+    #[test]
+    fn member_rejects_non_equivalences() {
+        let class = EquivalenceClass::new();
+        let mut s = Structure::new(class.public_schema().clone(), 2);
+        assert!(!class.is_member(&s)); // not reflexive
+        s.add_fact(class.sim(), &[Element(0), Element(0)]).unwrap();
+        s.add_fact(class.sim(), &[Element(1), Element(1)]).unwrap();
+        assert!(class.is_member(&s));
+        s.add_fact(class.sim(), &[Element(0), Element(1)]).unwrap();
+        assert!(!class.is_member(&s)); // not symmetric
+    }
+
+    #[test]
+    fn block_extensions_cover_all_choices() {
+        // 2 old blocks, 1 extra element: join block 0, block 1, or open a new
+        // one -> 3.
+        assert_eq!(block_extensions(&[0, 1], 1).len(), 3);
+        // 1 old block, 2 extras: (old,old),(old,new),(new,old==same
+        // normalized),(new,same-new),(new,other-new): RGS count = 1*?;
+        // enumerate: e1 in {0,1}, e2 in {0,..,max+1}: 2 + 3 = 5.
+        assert_eq!(block_extensions(&[0], 2).len(), 5);
+    }
+
+    #[test]
+    fn initial_counts_follow_bell_numbers() {
+        let class = EquivalenceClass::new();
+        // k=2: pattern xx: m=1, 1 partition; pattern xy: m=2, 2 partitions.
+        assert_eq!(class.initial_configs(2).len(), 3);
+        for p in class.initial_pointed(3) {
+            assert!(class.is_member(&p.structure));
+        }
+    }
+
+    #[test]
+    fn amalgams_stay_equivalences() {
+        let class = EquivalenceClass::new();
+        for base in class.initial_pointed(2) {
+            for cand in class.amalgams(&base, &[]) {
+                assert!(class.is_member(&cand.structure));
+            }
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Error type for formula construction, parsing and transformation.
+
+use std::fmt;
+
+/// Errors raised by the logic crate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LogicError {
+    /// Parse error with position and message.
+    Parse {
+        /// Byte offset into the input.
+        at: usize,
+        /// Human-readable description.
+        msg: String,
+    },
+    /// A name could not be resolved to a variable or symbol.
+    Unresolved(String),
+    /// Symbol used with wrong arity.
+    Arity {
+        /// Symbol name.
+        symbol: String,
+        /// Declared arity.
+        expected: usize,
+        /// Number of arguments supplied.
+        got: usize,
+    },
+    /// A relation symbol appeared in term position or vice versa.
+    Kind(String),
+    /// An existential quantifier appears under a negation, so the formula is
+    /// not an existential formula in the sense of Fact 2.
+    NotExistential,
+    /// Evaluation referenced a variable with no value.
+    UnboundVariable(u32),
+}
+
+impl fmt::Display for LogicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogicError::Parse { at, msg } => write!(f, "parse error at byte {at}: {msg}"),
+            LogicError::Unresolved(name) => write!(f, "unresolved name `{name}`"),
+            LogicError::Arity {
+                symbol,
+                expected,
+                got,
+            } => write!(f, "`{symbol}` expects {expected} arguments, got {got}"),
+            LogicError::Kind(name) => write!(f, "`{name}` used with the wrong symbol kind"),
+            LogicError::NotExistential => {
+                write!(f, "existential quantifier under negation: not an existential formula")
+            }
+            LogicError::UnboundVariable(v) => write!(f, "unbound variable v{v}"),
+        }
+    }
+}
+
+impl std::error::Error for LogicError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render() {
+        assert!(LogicError::NotExistential.to_string().contains("existential"));
+        assert!(LogicError::Unresolved("zz".into()).to_string().contains("zz"));
+    }
+}

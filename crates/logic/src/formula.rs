@@ -1,0 +1,327 @@
+//! The formula AST.
+
+use crate::term::{Term, Var};
+use dds_structure::SymbolId;
+use std::fmt;
+
+/// A first-order formula over a database schema.
+///
+/// Database-driven systems use the quantifier-free fragment as guards;
+/// existential quantification is accepted at the surface (Fact 2) and
+/// compiled away by `dds-system`. Universal quantification and negated
+/// existentials are deliberately *not* representable after parsing — the
+/// paper shows that boolean combinations of existential formulas already
+/// make emptiness undecidable (§6.2), so keeping the type honest documents
+/// the decidability frontier. (`Not` over `Exists` can be built
+/// programmatically; [`Formula::is_existential`] reports whether a formula
+/// stays in the decidable fragment.)
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum Formula {
+    /// Constant truth.
+    True,
+    /// Constant falsity.
+    False,
+    /// Equality of two terms.
+    Eq(Term, Term),
+    /// Relation atom.
+    Rel(SymbolId, Vec<Term>),
+    /// Negation.
+    Not(Box<Formula>),
+    /// Conjunction (empty = true).
+    And(Vec<Formula>),
+    /// Disjunction (empty = false).
+    Or(Vec<Formula>),
+    /// Existential quantification over a block of variables.
+    Exists(Vec<Var>, Box<Formula>),
+}
+
+impl Formula {
+    /// Conjunction, flattening nested `And`s and collapsing trivial cases.
+    pub fn and(parts: Vec<Formula>) -> Formula {
+        let mut flat = Vec::with_capacity(parts.len());
+        for p in parts {
+            match p {
+                Formula::True => {}
+                Formula::False => return Formula::False,
+                Formula::And(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => Formula::True,
+            1 => flat.pop().expect("len checked"),
+            _ => Formula::And(flat),
+        }
+    }
+
+    /// Disjunction, flattening nested `Or`s and collapsing trivial cases.
+    pub fn or(parts: Vec<Formula>) -> Formula {
+        let mut flat = Vec::with_capacity(parts.len());
+        for p in parts {
+            match p {
+                Formula::False => {}
+                Formula::True => return Formula::True,
+                Formula::Or(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => Formula::False,
+            1 => flat.pop().expect("len checked"),
+            _ => Formula::Or(flat),
+        }
+    }
+
+    /// Negation, collapsing double negations and constants.
+    pub fn not(f: Formula) -> Formula {
+        match f {
+            Formula::True => Formula::False,
+            Formula::False => Formula::True,
+            Formula::Not(inner) => *inner,
+            other => Formula::Not(Box::new(other)),
+        }
+    }
+
+    /// Equality atom between two variables (the most common guard atom).
+    pub fn var_eq(a: Var, b: Var) -> Formula {
+        Formula::Eq(Term::var(a), Term::var(b))
+    }
+
+    /// Relation atom over variables.
+    pub fn rel_vars(rel: SymbolId, vars: &[Var]) -> Formula {
+        Formula::Rel(rel, vars.iter().map(|&v| Term::var(v)).collect())
+    }
+
+    /// True when the formula contains no quantifier.
+    pub fn is_quantifier_free(&self) -> bool {
+        match self {
+            Formula::True | Formula::False | Formula::Eq(..) | Formula::Rel(..) => true,
+            Formula::Not(f) => f.is_quantifier_free(),
+            Formula::And(fs) | Formula::Or(fs) => fs.iter().all(Formula::is_quantifier_free),
+            Formula::Exists(..) => false,
+        }
+    }
+
+    /// True when the formula is *existential*: no quantifier occurs under a
+    /// negation. These are exactly the guards Fact 2 can compile to
+    /// quantifier-free systems.
+    pub fn is_existential(&self) -> bool {
+        match self {
+            Formula::True | Formula::False | Formula::Eq(..) | Formula::Rel(..) => true,
+            Formula::Not(f) => f.is_quantifier_free(),
+            Formula::And(fs) | Formula::Or(fs) => fs.iter().all(Formula::is_existential),
+            Formula::Exists(_, f) => f.is_existential(),
+        }
+    }
+
+    /// Collects free variables (sorted, deduplicated).
+    pub fn free_vars(&self) -> Vec<Var> {
+        fn go(f: &Formula, bound: &mut Vec<Var>, out: &mut Vec<Var>) {
+            match f {
+                Formula::True | Formula::False => {}
+                Formula::Eq(a, b) => {
+                    let mut vs = Vec::new();
+                    a.collect_vars(&mut vs);
+                    b.collect_vars(&mut vs);
+                    out.extend(vs.into_iter().filter(|v| !bound.contains(v)));
+                }
+                Formula::Rel(_, args) => {
+                    let mut vs = Vec::new();
+                    for a in args {
+                        a.collect_vars(&mut vs);
+                    }
+                    out.extend(vs.into_iter().filter(|v| !bound.contains(v)));
+                }
+                Formula::Not(inner) => go(inner, bound, out),
+                Formula::And(fs) | Formula::Or(fs) => {
+                    for sub in fs {
+                        go(sub, bound, out);
+                    }
+                }
+                Formula::Exists(vs, inner) => {
+                    let depth = bound.len();
+                    bound.extend(vs.iter().copied());
+                    go(inner, bound, out);
+                    bound.truncate(depth);
+                }
+            }
+        }
+        let mut out = Vec::new();
+        go(self, &mut Vec::new(), &mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Largest variable index mentioned anywhere (free or bound), or `None`
+    /// for closed/constant formulas. Used to pick fresh variables.
+    pub fn max_var(&self) -> Option<Var> {
+        fn go(f: &Formula, best: &mut Option<Var>) {
+            let mut take = |vs: Vec<Var>| {
+                for v in vs {
+                    if best.map_or(true, |b| v > b) {
+                        *best = Some(v);
+                    }
+                }
+            };
+            match f {
+                Formula::True | Formula::False => {}
+                Formula::Eq(a, b) => {
+                    let mut vs = Vec::new();
+                    a.collect_vars(&mut vs);
+                    b.collect_vars(&mut vs);
+                    take(vs);
+                }
+                Formula::Rel(_, args) => {
+                    let mut vs = Vec::new();
+                    for a in args {
+                        a.collect_vars(&mut vs);
+                    }
+                    take(vs);
+                }
+                Formula::Not(inner) => go(inner, best),
+                Formula::And(fs) | Formula::Or(fs) => {
+                    for sub in fs {
+                        go(sub, best);
+                    }
+                }
+                Formula::Exists(vs, inner) => {
+                    take(vs.clone());
+                    go(inner, best);
+                }
+            }
+        }
+        let mut best = None;
+        go(self, &mut best);
+        best
+    }
+
+    /// Applies a variable renaming to free *and bound* variables. Callers
+    /// must supply an injective map when binders are present.
+    pub fn map_vars(&self, f: &impl Fn(Var) -> Var) -> Formula {
+        match self {
+            Formula::True => Formula::True,
+            Formula::False => Formula::False,
+            Formula::Eq(a, b) => Formula::Eq(a.map_vars(f), b.map_vars(f)),
+            Formula::Rel(r, args) => {
+                Formula::Rel(*r, args.iter().map(|a| a.map_vars(f)).collect())
+            }
+            Formula::Not(inner) => Formula::Not(Box::new(inner.map_vars(f))),
+            Formula::And(fs) => Formula::And(fs.iter().map(|x| x.map_vars(f)).collect()),
+            Formula::Or(fs) => Formula::Or(fs.iter().map(|x| x.map_vars(f)).collect()),
+            Formula::Exists(vs, inner) => Formula::Exists(
+                vs.iter().map(|&v| f(v)).collect(),
+                Box::new(inner.map_vars(f)),
+            ),
+        }
+    }
+
+    /// Number of AST nodes; used by the Fact 2 linear-time experiment (E2).
+    pub fn size(&self) -> usize {
+        match self {
+            Formula::True | Formula::False | Formula::Eq(..) | Formula::Rel(..) => 1,
+            Formula::Not(f) => 1 + f.size(),
+            Formula::And(fs) | Formula::Or(fs) => 1 + fs.iter().map(Formula::size).sum::<usize>(),
+            Formula::Exists(_, f) => 1 + f.size(),
+        }
+    }
+}
+
+impl fmt::Debug for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::True => write!(f, "true"),
+            Formula::False => write!(f, "false"),
+            Formula::Eq(a, b) => write!(f, "{a:?} = {b:?}"),
+            Formula::Rel(r, args) => {
+                write!(f, "{r:?}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{a:?}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Not(inner) => write!(f, "!({inner:?})"),
+            Formula::And(fs) => {
+                write!(f, "(")?;
+                for (i, sub) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " & ")?;
+                    }
+                    write!(f, "{sub:?}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Or(fs) => {
+                write!(f, "(")?;
+                for (i, sub) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " | ")?;
+                    }
+                    write!(f, "{sub:?}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Exists(vs, inner) => {
+                write!(f, "exists")?;
+                for v in vs {
+                    write!(f, " {v}")?;
+                }
+                write!(f, ". {inner:?}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smart_constructors_simplify() {
+        assert_eq!(Formula::and(vec![]), Formula::True);
+        assert_eq!(Formula::or(vec![]), Formula::False);
+        assert_eq!(
+            Formula::and(vec![Formula::True, Formula::False]),
+            Formula::False
+        );
+        assert_eq!(Formula::not(Formula::not(Formula::True)), Formula::True);
+        let a = Formula::var_eq(Var(0), Var(1));
+        assert_eq!(Formula::and(vec![a.clone()]), a);
+        // Nested conjunctions flatten.
+        let nested = Formula::and(vec![
+            Formula::and(vec![a.clone(), a.clone()]),
+            a.clone(),
+        ]);
+        assert_eq!(nested.size(), 4);
+    }
+
+    #[test]
+    fn fragments_classified() {
+        let qf = Formula::not(Formula::var_eq(Var(0), Var(1)));
+        assert!(qf.is_quantifier_free());
+        assert!(qf.is_existential());
+        let ex = Formula::Exists(vec![Var(5)], Box::new(Formula::var_eq(Var(5), Var(0))));
+        assert!(!ex.is_quantifier_free());
+        assert!(ex.is_existential());
+        let bad = Formula::not(ex.clone());
+        assert!(!bad.is_existential());
+        // And of existentials is existential.
+        assert!(Formula::and(vec![ex.clone(), qf]).is_existential());
+    }
+
+    #[test]
+    fn free_vars_respect_binders() {
+        let f = Formula::Exists(
+            vec![Var(3)],
+            Box::new(Formula::and(vec![
+                Formula::var_eq(Var(3), Var(1)),
+                Formula::var_eq(Var(0), Var(0)),
+            ])),
+        );
+        assert_eq!(f.free_vars(), vec![Var(0), Var(1)]);
+        assert_eq!(f.max_var(), Some(Var(3)));
+    }
+}

@@ -1,0 +1,33 @@
+//! # dds-logic
+//!
+//! Quantifier-free and existential first-order formulas over database
+//! schemas — the guard language of database-driven systems (§2 of the
+//! paper).
+//!
+//! A guard is a formula over variables `X × {old, new}` built from:
+//!
+//! * equality `t1 = t2` between terms,
+//! * relation atoms `R(t1, .., tk)`,
+//! * terms made of variables and (nested) function applications — this is how
+//!   the tree case queries the closest-common-ancestor function `x ∧ y`,
+//! * boolean connectives, and
+//! * (for the Fact 2 front-end) existential quantifiers, which
+//!   `dds-system` compiles away into extra registers.
+//!
+//! The crate provides the AST ([`Formula`], [`Term`], [`Var`]), an evaluator
+//! against [`dds_structure::Structure`] ([`eval`]), a small concrete-syntax
+//! parser ([`parse`]) used by builders/examples/tests, and transformations
+//! ([`transform`]): negation normal form, atom collection, variable renaming
+//! and existential prenexing.
+
+pub mod error;
+pub mod eval;
+pub mod formula;
+pub mod parse;
+pub mod term;
+pub mod transform;
+
+pub use error::LogicError;
+pub use formula::Formula;
+pub use parse::parse_formula;
+pub use term::{Term, Var};

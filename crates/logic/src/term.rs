@@ -1,0 +1,125 @@
+//! Terms: variables and function applications.
+
+use dds_structure::SymbolId;
+use std::fmt;
+
+/// A logical variable, identified by index.
+///
+/// The guard convention of `dds-system` interleaves register phases:
+/// register `i`'s *old* value is variable `2i` and its *new* value is
+/// variable `2i+1`, so adding registers (Fact 2) never renumbers existing
+/// variables. Quantified variables introduced by `exists` use indices past
+/// the register block.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// Index into a valuation slice.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A first-order term: a variable or a function application.
+///
+/// Constants are applications of 0-ary function symbols.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// A variable.
+    Var(Var),
+    /// Application of a function symbol to argument terms.
+    App(SymbolId, Vec<Term>),
+}
+
+impl Term {
+    /// Shorthand for a variable term.
+    pub fn var(v: Var) -> Term {
+        Term::Var(v)
+    }
+
+    /// Shorthand for a function application.
+    pub fn app(f: SymbolId, args: Vec<Term>) -> Term {
+        Term::App(f, args)
+    }
+
+    /// Collects the variables occurring in the term into `out`.
+    pub fn collect_vars(&self, out: &mut Vec<Var>) {
+        match self {
+            Term::Var(v) => out.push(*v),
+            Term::App(_, args) => {
+                for a in args {
+                    a.collect_vars(out);
+                }
+            }
+        }
+    }
+
+    /// Applies a variable renaming.
+    pub fn map_vars(&self, f: &impl Fn(Var) -> Var) -> Term {
+        match self {
+            Term::Var(v) => Term::Var(f(*v)),
+            Term::App(s, args) => Term::App(*s, args.iter().map(|a| a.map_vars(f)).collect()),
+        }
+    }
+
+    /// Depth of nested applications (a variable has depth 0). Used by
+    /// workload generators to control guard complexity.
+    pub fn depth(&self) -> usize {
+        match self {
+            Term::Var(_) => 0,
+            Term::App(_, args) => 1 + args.iter().map(Term::depth).max().unwrap_or(0),
+        }
+    }
+}
+
+impl fmt::Debug for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::App(s, args) => {
+                write!(f, "{s:?}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{a:?}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collect_and_map_vars() {
+        let t = Term::app(
+            SymbolId(0),
+            vec![Term::var(Var(1)), Term::app(SymbolId(1), vec![Term::var(Var(3))])],
+        );
+        let mut vars = Vec::new();
+        t.collect_vars(&mut vars);
+        assert_eq!(vars, vec![Var(1), Var(3)]);
+        let shifted = t.map_vars(&|v| Var(v.0 + 10));
+        let mut vars2 = Vec::new();
+        shifted.collect_vars(&mut vars2);
+        assert_eq!(vars2, vec![Var(11), Var(13)]);
+        assert_eq!(t.depth(), 2);
+    }
+}

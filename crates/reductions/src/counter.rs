@@ -1,0 +1,137 @@
+//! Two-counter (Minsky) machines — the undecidable substrate behind §6.
+
+/// One instruction of a counter machine. Program locations are implicit
+/// (instruction index); `Halt` accepts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Instr {
+    /// Increment counter `c`, go to `next`.
+    Inc {
+        /// Counter index (0 or 1).
+        c: usize,
+        /// Next instruction.
+        next: usize,
+    },
+    /// If counter `c` is zero go to `if_zero`, else decrement and go to
+    /// `if_pos`.
+    JzDec {
+        /// Counter index (0 or 1).
+        c: usize,
+        /// Target when zero.
+        if_zero: usize,
+        /// Target after decrementing.
+        if_pos: usize,
+    },
+    /// Accept.
+    Halt,
+}
+
+/// A two-counter machine: the halting problem for these is undecidable,
+/// which is what Facts 15/16 and Theorem 17 reduce from.
+#[derive(Clone, Debug)]
+pub struct CounterMachine {
+    /// Program; location 0 is initial.
+    pub program: Vec<Instr>,
+}
+
+impl CounterMachine {
+    /// Runs the machine for at most `max_steps`; returns the number of steps
+    /// to halt, or `None` when still running at the budget.
+    pub fn run(&self, max_steps: usize) -> Option<usize> {
+        let mut pc = 0usize;
+        let mut counters = [0i64; 2];
+        for step in 0..max_steps {
+            match self.program[pc] {
+                Instr::Halt => return Some(step),
+                Instr::Inc { c, next } => {
+                    counters[c] += 1;
+                    pc = next;
+                }
+                Instr::JzDec { c, if_zero, if_pos } => {
+                    if counters[c] == 0 {
+                        pc = if_zero;
+                    } else {
+                        counters[c] -= 1;
+                        pc = if_pos;
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Peak counter value reached within `max_steps` (for sizing bounded
+    /// searches).
+    pub fn peak(&self, max_steps: usize) -> i64 {
+        let mut pc = 0usize;
+        let mut counters = [0i64; 2];
+        let mut peak = 0;
+        for _ in 0..max_steps {
+            match self.program[pc] {
+                Instr::Halt => break,
+                Instr::Inc { c, next } => {
+                    counters[c] += 1;
+                    peak = peak.max(counters[c]);
+                    pc = next;
+                }
+                Instr::JzDec { c, if_zero, if_pos } => {
+                    if counters[c] == 0 {
+                        pc = if_zero;
+                    } else {
+                        counters[c] -= 1;
+                        pc = if_pos;
+                    }
+                }
+            }
+        }
+        peak
+    }
+
+    /// "Count to `n`, transfer to the other counter, halt" — a halting
+    /// family whose running time grows linearly with `n`.
+    pub fn count_up_down(n: usize) -> CounterMachine {
+        // 0..n-1: inc c0; n: test c0 (zero -> halt, pos -> inc c1 at n+1)
+        let mut program = Vec::new();
+        for i in 0..n {
+            program.push(Instr::Inc { c: 0, next: i + 1 });
+        }
+        let test = n;
+        let bump = n + 1;
+        let halt = n + 2;
+        program.push(Instr::JzDec {
+            c: 0,
+            if_zero: halt,
+            if_pos: bump,
+        });
+        program.push(Instr::Inc { c: 1, next: test });
+        program.push(Instr::Halt);
+        CounterMachine { program }
+    }
+
+    /// A trivial non-halting machine (increments forever).
+    pub fn diverges() -> CounterMachine {
+        CounterMachine {
+            program: vec![Instr::Inc { c: 0, next: 0 }],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_up_down_halts_in_linear_time() {
+        for n in [0usize, 1, 3, 7] {
+            let m = CounterMachine::count_up_down(n);
+            let steps = m.run(10 * n + 10).expect("halts");
+            // n increments + n (test+inc) pairs + final test.
+            assert_eq!(steps, n + 2 * n + 1);
+            assert_eq!(m.peak(10 * n + 10), n as i64);
+        }
+    }
+
+    #[test]
+    fn divergent_machine_never_halts_within_budget() {
+        assert_eq!(CounterMachine::diverges().run(10_000), None);
+    }
+}

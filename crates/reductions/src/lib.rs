@@ -1,0 +1,30 @@
+//! # dds-reductions
+//!
+//! The undecidability frontier of the paper (§6 and Appendices A/F), as
+//! *executable* reductions:
+//!
+//! * [`counter`] — two-counter (Minsky) machines and a reference
+//!   interpreter: the source of every undecidability proof here;
+//! * [`lemma1`] — Lemma 1 / Appendix A: linear-space Turing machines encoded
+//!   as database-driven systems over a pure-equality schema (the
+//!   PSpace-hardness witness family, experiment E1);
+//! * [`words_succ`] — Fact 15: with a successor relation on word positions,
+//!   one register per counter simulates a counter machine, so emptiness is
+//!   undecidable even over unary words;
+//! * [`trees_undec`] — Fact 16: the closest-common-ancestor function plus
+//!   the *sibling* relation simulate counters on comb-shaped trees; and
+//!   Theorem 17 / Appendix F: boolean combinations of data tree patterns
+//!   simulate counters on two-level data trees.
+//!
+//! Each reduction provides the system constructor and a *bounded* checking
+//! harness demonstrating the two directions on concrete machines: halting
+//! machines yield accepting runs (found by explicit search over bounded
+//! databases), and the search space grows with the running time — the
+//! executable content of an undecidability proof (experiment E9).
+
+pub mod counter;
+pub mod lemma1;
+pub mod trees_undec;
+pub mod words_succ;
+
+pub use counter::{CounterMachine, Instr};

@@ -1,0 +1,167 @@
+//! Fact 15: with a successor relation on positions, database-driven systems
+//! simulate counter machines, so emptiness is undecidable even over unary
+//! words.
+//!
+//! The system keeps a never-moving register `z` (the zero anchor) and one
+//! register per counter; `succ(c_old, c_new)` increments, `succ(c_new,
+//! c_old)` decrements, and `c = z` is the zero test. A word of length `m`
+//! can host counter values up to `m-1`, so the machine halts iff *some*
+//! word drives an accepting run — and no computable bound on `m` exists.
+
+use crate::counter::{CounterMachine, Instr};
+use dds_logic::Formula;
+use dds_structure::{Element, Schema, Structure};
+use dds_system::explicit::find_accepting_run;
+use dds_system::{new_var, old_var, Rule, Run, StateId, System};
+use std::sync::Arc;
+
+/// Schema with a single binary `succ` relation.
+pub fn succ_schema() -> Arc<Schema> {
+    let mut sc = Schema::new();
+    sc.add_relation("succ", 2).unwrap();
+    sc.finish()
+}
+
+/// The unary word `0 -> 1 -> .. -> m-1` as a succ-structure.
+pub fn line(m: usize) -> Structure {
+    let schema = succ_schema();
+    let succ = schema.lookup("succ").unwrap();
+    let mut s = Structure::new(schema, m);
+    for i in 1..m {
+        s.add_fact(succ, &[Element::from_index(i - 1), Element::from_index(i)])
+            .unwrap();
+    }
+    s
+}
+
+/// Builds the Fact 15 system simulating a two-counter machine.
+///
+/// Registers: `z` (0), `c0` (1), `c1` (2). Control states mirror program
+/// locations, with `JzDec` split into its two outcomes.
+pub fn fact15_system(m: &CounterMachine) -> System {
+    let schema = succ_schema();
+    let succ = schema.lookup("succ").unwrap();
+    let keep = |i: usize| Formula::var_eq(old_var(i), new_var(i));
+    let keep_all_but = |i: usize| {
+        Formula::and(
+            (0..3)
+                .filter(|&j| j != i)
+                .map(keep)
+                .collect(),
+        )
+    };
+    let mut rules = Vec::new();
+    for (loc, instr) in m.program.iter().enumerate() {
+        let from = StateId(loc as u32);
+        match *instr {
+            Instr::Halt => {}
+            Instr::Inc { c, next } => rules.push(Rule {
+                from,
+                to: StateId(next as u32),
+                guard: Formula::and(vec![
+                    keep_all_but(c + 1),
+                    Formula::rel_vars(succ, &[old_var(c + 1), new_var(c + 1)]),
+                ]),
+            }),
+            Instr::JzDec { c, if_zero, if_pos } => {
+                rules.push(Rule {
+                    from,
+                    to: StateId(if_zero as u32),
+                    guard: Formula::and(vec![
+                        keep_all_but(3), // keep everything
+                        keep(c + 1),
+                        Formula::var_eq(old_var(c + 1), old_var(0)),
+                    ]),
+                });
+                rules.push(Rule {
+                    from,
+                    to: StateId(if_pos as u32),
+                    guard: Formula::and(vec![
+                        keep_all_but(c + 1),
+                        Formula::not(Formula::var_eq(old_var(c + 1), old_var(0))),
+                        Formula::rel_vars(succ, &[new_var(c + 1), old_var(c + 1)]),
+                    ]),
+                });
+            }
+        }
+    }
+    // Priming: all registers equal (counters zero at the anchor).
+    let init = StateId(m.program.len() as u32);
+    rules.push(Rule {
+        from: init,
+        to: StateId(0),
+        guard: Formula::and(vec![
+            Formula::var_eq(new_var(0), new_var(1)),
+            Formula::var_eq(new_var(1), new_var(2)),
+        ]),
+    });
+    let accepting: Vec<StateId> = m
+        .program
+        .iter()
+        .enumerate()
+        .filter(|(_, i)| matches!(i, Instr::Halt))
+        .map(|(loc, _)| StateId(loc as u32))
+        .collect();
+    let mut names: Vec<String> = (0..m.program.len()).map(|i| format!("L{i}")).collect();
+    names.push("init".into());
+    System::from_parts(
+        schema,
+        names,
+        vec!["z".into(), "c0".into(), "c1".into()],
+        vec![init],
+        accepting,
+        rules,
+    )
+    .expect("valid system")
+}
+
+/// Bounded emptiness over lines of length `1..=max_len`: decides halting
+/// *up to the bound* — the undecidability of Fact 15 is exactly that no
+/// bound can be computed in advance.
+pub fn bounded_check(m: &CounterMachine, max_len: usize) -> Option<(Structure, Run)> {
+    let system = fact15_system(m);
+    for len in 1..=max_len {
+        let db = line(len);
+        if let Some(run) = find_accepting_run(&system, &db) {
+            return Some((db, run));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn halting_machine_found_at_peak_length() {
+        let m = CounterMachine::count_up_down(3);
+        // Peak counter value 3 requires a line of length >= 4.
+        assert!(bounded_check(&m, 3).is_none());
+        let (db, run) = bounded_check(&m, 5).expect("halts with peak 3");
+        let system = fact15_system(&m);
+        system.check_run(&db, &run, true).unwrap();
+        assert_eq!(db.size(), 4);
+        // Run length = steps + priming + final config.
+        assert_eq!(run.len(), m.run(1000).unwrap() + 2);
+    }
+
+    #[test]
+    fn divergent_machine_never_accepts() {
+        let m = CounterMachine::diverges();
+        assert!(bounded_check(&m, 6).is_none());
+    }
+
+    #[test]
+    fn zero_test_requires_anchor_equality() {
+        // count_up_down(1): inc, test(dec), inc c1, test -> halt.
+        let m = CounterMachine::count_up_down(1);
+        let (db, run) = bounded_check(&m, 3).expect("halts");
+        let system = fact15_system(&m);
+        system.check_run(&db, &run, true).unwrap();
+        // First real configuration has all three registers equal.
+        let first = &run.vals[1];
+        assert_eq!(first[0], first[1]);
+        assert_eq!(first[1], first[2]);
+    }
+}

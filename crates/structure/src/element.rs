@@ -1,0 +1,56 @@
+//! Domain elements of a finite structure.
+
+use std::fmt;
+
+/// An element of the domain of a finite [`Structure`](crate::Structure).
+///
+/// Domains are always `{0, 1, .., n-1}`; an `Element` is just a typed index.
+/// The newtype prevents accidentally mixing element indices with symbol ids
+/// or register indices.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Element(pub u32);
+
+impl Element {
+    /// The element's index into the structure's domain.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an element from a domain index.
+    #[inline]
+    pub fn from_index(i: usize) -> Element {
+        Element(i as u32)
+    }
+}
+
+impl fmt::Debug for Element {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for Element {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn element_roundtrip() {
+        let e = Element::from_index(7);
+        assert_eq!(e.index(), 7);
+        assert_eq!(format!("{e}"), "e7");
+        assert_eq!(format!("{e:?}"), "e7");
+    }
+
+    #[test]
+    fn element_ordering_follows_index() {
+        assert!(Element(1) < Element(2));
+        assert_eq!(Element(3), Element::from_index(3));
+    }
+}

@@ -1,0 +1,195 @@
+//! Exhaustive enumeration of small structures over relational schemas.
+//!
+//! Used by the brute-force baselines: "enumerate every database of the class
+//! up to size N and model-check the system on each" is the reference
+//! implementation that the amalgamation engine is validated against
+//! (and benchmarked against in experiment E10).
+
+use crate::element::Element;
+use crate::schema::Schema;
+use crate::structure::{tuples_over, Structure};
+use std::sync::Arc;
+
+/// Iterator over **all** structures with a fixed domain size over a purely
+/// relational schema.
+///
+/// Enumeration walks an odometer over the per-relation tuple subsets; each
+/// relation with `t` possible tuples contributes a `t`-bit counter. The
+/// total count is `2^(Σ t_r)`, so callers must keep `size` small — exactly
+/// what the baselines do.
+pub struct StructureIter {
+    schema: Arc<Schema>,
+    size: usize,
+    /// Flattened list of (relation, tuple) slots.
+    slots: Vec<(crate::SymbolId, Vec<Element>)>,
+    /// Current subset as a bitmask over `slots`; `None` when exhausted.
+    mask: Option<Vec<bool>>,
+}
+
+impl StructureIter {
+    /// Creates the iterator. Panics if the schema has function symbols
+    /// (enumerating total functions is a different game; the symbolic tree
+    /// and word classes never need it).
+    pub fn new(schema: Arc<Schema>, size: usize) -> StructureIter {
+        assert!(
+            schema.is_relational(),
+            "StructureIter requires a purely relational schema"
+        );
+        let elems: Vec<Element> = (0..size as u32).map(Element).collect();
+        let mut slots = Vec::new();
+        for r in schema.relations() {
+            for t in tuples_over(&elems, schema.arity(r)) {
+                slots.push((r, t));
+            }
+        }
+        let mask = Some(vec![false; slots.len()]);
+        StructureIter {
+            schema,
+            size,
+            slots,
+            mask,
+        }
+    }
+
+    /// Number of structures this iterator will yield (2^#slots), as f64 to
+    /// avoid overflow in diagnostics.
+    pub fn total(&self) -> f64 {
+        2f64.powi(self.slots.len() as i32)
+    }
+
+}
+
+impl Iterator for StructureIter {
+    type Item = Structure;
+
+    fn next(&mut self) -> Option<Structure> {
+        let mask = self.mask.as_mut()?;
+        let out = {
+            let mask_ref: &[bool] = mask;
+            let mut s = Structure::new(self.schema.clone(), self.size);
+            for (on, (r, t)) in mask_ref.iter().zip(&self.slots) {
+                if *on {
+                    s.add_fact(*r, t).expect("slot tuples are valid");
+                }
+            }
+            s
+        };
+        // Binary increment.
+        let mut pos = 0;
+        loop {
+            if pos == mask.len() {
+                self.mask = None;
+                break;
+            }
+            if mask[pos] {
+                mask[pos] = false;
+                pos += 1;
+            } else {
+                mask[pos] = true;
+                break;
+            }
+        }
+        Some(out)
+    }
+}
+
+/// Enumerates all structures over `schema` with domain sizes `1..=max_size`
+/// satisfying `filter`, calling `visit` on each. Returns the number of
+/// structures visited. `visit` may stop enumeration early by returning
+/// `false`.
+pub fn for_each_structure(
+    schema: &Arc<Schema>,
+    max_size: usize,
+    mut filter: impl FnMut(&Structure) -> bool,
+    mut visit: impl FnMut(&Structure) -> bool,
+) -> usize {
+    let mut count = 0;
+    for size in 1..=max_size {
+        for s in StructureIter::new(schema.clone(), size) {
+            if filter(&s) {
+                count += 1;
+                if !visit(&s) {
+                    return count;
+                }
+            }
+        }
+    }
+    count
+}
+
+/// All subsets of `items` (by value), smallest first. Helper for amalgam
+/// enumeration; caller keeps `items` short.
+pub fn subsets<T: Clone>(items: &[T]) -> Vec<Vec<T>> {
+    let mut out = Vec::with_capacity(1 << items.len());
+    assert!(items.len() < 30, "subsets: too many items ({})", items.len());
+    for mask in 0u64..(1u64 << items.len()) {
+        let mut v = Vec::new();
+        for (i, item) in items.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                v.push(item.clone());
+            }
+        }
+        out.push(v);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    #[test]
+    fn counts_structures_on_small_schema() {
+        let mut s = Schema::new();
+        s.add_relation("P", 1).unwrap();
+        let schema = s.finish();
+        // size 2, one unary relation: 2 tuples -> 4 structures
+        let all: Vec<Structure> = StructureIter::new(schema.clone(), 2).collect();
+        assert_eq!(all.len(), 4);
+        let distinct: std::collections::BTreeSet<String> =
+            all.iter().map(|x| format!("{x:?}")).collect();
+        assert_eq!(distinct.len(), 4);
+    }
+
+    #[test]
+    fn graph_enumeration_count() {
+        let mut s = Schema::new();
+        s.add_relation("E", 2).unwrap();
+        let schema = s.finish();
+        // size 2: 4 possible directed edges -> 16 graphs
+        assert_eq!(StructureIter::new(schema, 2).count(), 16);
+    }
+
+    #[test]
+    fn for_each_filters_and_stops() {
+        let mut s = Schema::new();
+        let e = s.add_relation("E", 2).unwrap();
+        let schema = s.finish();
+        // Count loops-only graphs of size <= 2.
+        let mut seen = 0;
+        let visited = for_each_structure(
+            &schema,
+            2,
+            |st| st.rel_tuples(e).all(|t| t[0] == t[1]),
+            |_| {
+                seen += 1;
+                true
+            },
+        );
+        // size1: edge (0,0) present or not -> 2; size2: loops at 0 and/or 1 -> 4
+        assert_eq!(visited, 6);
+        assert_eq!(seen, 6);
+        // Early stop after the first hit.
+        let visited = for_each_structure(&schema, 2, |_| true, |_| false);
+        assert_eq!(visited, 1);
+    }
+
+    #[test]
+    fn subsets_enumerates_powerset() {
+        let ss = subsets(&[1, 2, 3]);
+        assert_eq!(ss.len(), 8);
+        assert!(ss.contains(&vec![]));
+        assert!(ss.contains(&vec![1, 3]));
+    }
+}

@@ -1,0 +1,98 @@
+//! Error type shared by the structure crate.
+
+use std::fmt;
+
+/// Errors raised when building or querying finite structures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StructureError {
+    /// A symbol name was declared twice in a schema.
+    DuplicateSymbol(String),
+    /// A symbol name is unknown in the schema.
+    UnknownSymbol(String),
+    /// A tuple's length does not match the symbol's declared arity.
+    ArityMismatch {
+        /// Symbol name for diagnostics.
+        symbol: String,
+        /// Declared arity.
+        expected: usize,
+        /// Length of the offending tuple.
+        got: usize,
+    },
+    /// A relation symbol was used where a function symbol is required, or
+    /// vice versa.
+    KindMismatch {
+        /// Symbol name for diagnostics.
+        symbol: String,
+    },
+    /// An element index is outside the structure's domain.
+    ElementOutOfRange {
+        /// The offending element index.
+        element: usize,
+        /// Domain size.
+        size: usize,
+    },
+    /// A function symbol has no value for some argument tuple (functions must
+    /// be total on the domain).
+    PartialFunction {
+        /// Symbol name for diagnostics.
+        symbol: String,
+    },
+    /// A requested subset is not closed under the structure's functions, so
+    /// it does not induce a substructure.
+    NotClosed {
+        /// Symbol name of a function whose image leaves the subset.
+        symbol: String,
+    },
+    /// Two structures were combined but have different schemas.
+    SchemaMismatch,
+}
+
+impl fmt::Display for StructureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StructureError::DuplicateSymbol(name) => {
+                write!(f, "symbol `{name}` declared twice")
+            }
+            StructureError::UnknownSymbol(name) => write!(f, "unknown symbol `{name}`"),
+            StructureError::ArityMismatch {
+                symbol,
+                expected,
+                got,
+            } => write!(
+                f,
+                "symbol `{symbol}` has arity {expected} but a tuple of length {got} was supplied"
+            ),
+            StructureError::KindMismatch { symbol } => {
+                write!(f, "symbol `{symbol}` used with the wrong kind (relation vs function)")
+            }
+            StructureError::ElementOutOfRange { element, size } => {
+                write!(f, "element e{element} outside domain of size {size}")
+            }
+            StructureError::PartialFunction { symbol } => {
+                write!(f, "function `{symbol}` is not total on the domain")
+            }
+            StructureError::NotClosed { symbol } => {
+                write!(f, "subset not closed under function `{symbol}`")
+            }
+            StructureError::SchemaMismatch => write!(f, "structures have different schemas"),
+        }
+    }
+}
+
+impl std::error::Error for StructureError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render() {
+        let e = StructureError::ArityMismatch {
+            symbol: "E".into(),
+            expected: 2,
+            got: 3,
+        };
+        assert!(e.to_string().contains("arity 2"));
+        assert!(StructureError::SchemaMismatch.to_string().contains("schemas"));
+    }
+}

@@ -1,0 +1,228 @@
+//! Schemas: finite sets of relation and function symbols with arities (§2).
+
+use crate::error::StructureError;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifier of a symbol within a [`Schema`].
+///
+/// Symbol ids index into the schema's declaration list, so they are stable
+/// and cheap to copy around; all structure tables are indexed by them.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SymbolId(pub u32);
+
+impl SymbolId {
+    /// Index into the schema's symbol list.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for SymbolId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Whether a symbol denotes a relation or a (total) function.
+///
+/// 0-ary functions are constants; 0-ary relations are propositional flags.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SymbolKind {
+    /// Interpreted as a set of tuples over the domain.
+    Relation,
+    /// Interpreted as a total function `domain^arity -> domain`.
+    Function,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct SymbolDecl {
+    name: String,
+    kind: SymbolKind,
+    arity: usize,
+}
+
+/// A finite set of relation and function symbols, each with an arity.
+///
+/// Schemas are immutable once built and shared via [`Arc`]; every
+/// [`Structure`](crate::Structure) holds a reference to its schema so that
+/// operations can verify compatibility cheaply (pointer equality first, deep
+/// equality as a fallback).
+///
+/// ```
+/// use dds_structure::Schema;
+/// let mut schema = Schema::new();
+/// let edge = schema.add_relation("E", 2).unwrap();
+/// let red = schema.add_relation("red", 1).unwrap();
+/// let schema = schema.finish();
+/// assert_eq!(schema.arity(edge), 2);
+/// assert_eq!(schema.name(red), "red");
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Schema {
+    symbols: Vec<SymbolDecl>,
+    by_name: HashMap<String, SymbolId>,
+}
+
+impl Schema {
+    /// Creates an empty schema (to be populated with `add_relation` /
+    /// `add_function` and sealed with [`Schema::finish`]).
+    pub fn new() -> Schema {
+        Schema::default()
+    }
+
+    /// Declares a relation symbol. Fails if the name is already taken.
+    pub fn add_relation(&mut self, name: &str, arity: usize) -> Result<SymbolId, StructureError> {
+        self.add(name, SymbolKind::Relation, arity)
+    }
+
+    /// Declares a (total) function symbol. Fails if the name is already taken.
+    pub fn add_function(&mut self, name: &str, arity: usize) -> Result<SymbolId, StructureError> {
+        self.add(name, SymbolKind::Function, arity)
+    }
+
+    fn add(
+        &mut self,
+        name: &str,
+        kind: SymbolKind,
+        arity: usize,
+    ) -> Result<SymbolId, StructureError> {
+        if self.by_name.contains_key(name) {
+            return Err(StructureError::DuplicateSymbol(name.to_owned()));
+        }
+        let id = SymbolId(self.symbols.len() as u32);
+        self.symbols.push(SymbolDecl {
+            name: name.to_owned(),
+            kind,
+            arity,
+        });
+        self.by_name.insert(name.to_owned(), id);
+        Ok(id)
+    }
+
+    /// Seals the schema into a shared handle.
+    pub fn finish(self) -> Arc<Schema> {
+        Arc::new(self)
+    }
+
+    /// Number of declared symbols.
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// True when no symbols are declared.
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+
+    /// The symbol's declared arity.
+    pub fn arity(&self, id: SymbolId) -> usize {
+        self.symbols[id.index()].arity
+    }
+
+    /// The symbol's kind (relation or function).
+    pub fn kind(&self, id: SymbolId) -> SymbolKind {
+        self.symbols[id.index()].kind
+    }
+
+    /// The symbol's name.
+    pub fn name(&self, id: SymbolId) -> &str {
+        &self.symbols[id.index()].name
+    }
+
+    /// Looks a symbol up by name.
+    pub fn lookup(&self, name: &str) -> Result<SymbolId, StructureError> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| StructureError::UnknownSymbol(name.to_owned()))
+    }
+
+    /// Iterates over all symbol ids in declaration order.
+    pub fn symbols(&self) -> impl Iterator<Item = SymbolId> + '_ {
+        (0..self.symbols.len() as u32).map(SymbolId)
+    }
+
+    /// Iterates over the relation symbols in declaration order.
+    pub fn relations(&self) -> impl Iterator<Item = SymbolId> + '_ {
+        self.symbols()
+            .filter(|id| self.kind(*id) == SymbolKind::Relation)
+    }
+
+    /// Iterates over the function symbols in declaration order.
+    pub fn functions(&self) -> impl Iterator<Item = SymbolId> + '_ {
+        self.symbols()
+            .filter(|id| self.kind(*id) == SymbolKind::Function)
+    }
+
+    /// True when the schema declares no function symbols — the "purely
+    /// relational" case of the paper, for which `blowup(n) = n` (§4.1).
+    pub fn is_relational(&self) -> bool {
+        self.functions().next().is_none()
+    }
+
+    /// Builds a new schema extending `self` with all symbols of `other`.
+    ///
+    /// Used by the data-value construction `A ⊗ λ` (§4.4), whose schema is
+    /// the union of the base schema and the schema of the homogeneous
+    /// structure. Fails on name clashes.
+    pub fn union(&self, other: &Schema) -> Result<Schema, StructureError> {
+        let mut out = self.clone();
+        for id in other.symbols() {
+            out.add(other.name(id), other.kind(id), other.arity(id))?;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let mut s = Schema::new();
+        let e = s.add_relation("E", 2).unwrap();
+        let c = s.add_function("cca", 2).unwrap();
+        let k = s.add_function("origin", 0).unwrap();
+        assert_eq!(s.arity(e), 2);
+        assert_eq!(s.kind(c), SymbolKind::Function);
+        assert_eq!(s.arity(k), 0);
+        assert_eq!(s.lookup("E").unwrap(), e);
+        assert!(s.lookup("nope").is_err());
+        assert_eq!(s.relations().count(), 1);
+        assert_eq!(s.functions().count(), 2);
+        assert!(!s.is_relational());
+    }
+
+    #[test]
+    fn duplicate_symbol_rejected() {
+        let mut s = Schema::new();
+        s.add_relation("E", 2).unwrap();
+        assert_eq!(
+            s.add_function("E", 1),
+            Err(StructureError::DuplicateSymbol("E".into()))
+        );
+    }
+
+    #[test]
+    fn union_extends_and_detects_clashes() {
+        let mut a = Schema::new();
+        a.add_relation("E", 2).unwrap();
+        let mut b = Schema::new();
+        b.add_relation("~", 2).unwrap();
+        let u = a.union(&b).unwrap();
+        assert_eq!(u.len(), 2);
+        assert!(u.lookup("~").is_ok());
+        assert!(a.union(&a).is_err());
+    }
+
+    #[test]
+    fn relational_flag() {
+        let mut s = Schema::new();
+        s.add_relation("R", 1).unwrap();
+        assert!(s.is_relational());
+    }
+}

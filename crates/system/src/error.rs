@@ -1,0 +1,46 @@
+//! Error type for system construction and run validation.
+
+use std::fmt;
+
+/// Errors raised when building systems or validating runs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SystemError {
+    /// A state name was declared twice.
+    DuplicateState(String),
+    /// A state name is unknown.
+    UnknownState(String),
+    /// A register name was declared twice.
+    DuplicateRegister(String),
+    /// Guard failed to parse or is outside the supported fragment.
+    Guard(String),
+    /// The system has no initial state (every run would be empty).
+    NoInitialState,
+    /// A run violates the semantics; the message pinpoints the step.
+    InvalidRun(String),
+}
+
+impl fmt::Display for SystemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SystemError::DuplicateState(s) => write!(f, "state `{s}` declared twice"),
+            SystemError::UnknownState(s) => write!(f, "unknown state `{s}`"),
+            SystemError::DuplicateRegister(r) => write!(f, "register `{r}` declared twice"),
+            SystemError::Guard(msg) => write!(f, "guard error: {msg}"),
+            SystemError::NoInitialState => write!(f, "system has no initial state"),
+            SystemError::InvalidRun(msg) => write!(f, "invalid run: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SystemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render() {
+        assert!(SystemError::NoInitialState.to_string().contains("initial"));
+        assert!(SystemError::UnknownState("q9".into()).to_string().contains("q9"));
+    }
+}

@@ -1,0 +1,46 @@
+//! # dds-system
+//!
+//! Database-driven systems (§2 of the paper): register automata whose
+//! transitions are guarded by quantifier-free first-order formulas querying a
+//! read-only database.
+//!
+//! A system consists of control states `Q`, registers `X`, initial and
+//! accepting state sets, and rules `p --φ--> q` where `φ` is a formula over
+//! variables `X × {old, new}`. A configuration is `(D, q, val)` with `D` a
+//! database, `q` a state and `val : X → dom(D)`; transitions keep `D` fixed
+//! and require `D ⊨ φ` under the combined old/new valuation. A *run* is a
+//! sequence of configurations driven by one shared database; the emptiness
+//! problem asks whether some database in a class `C` drives an accepting run.
+//!
+//! This crate provides:
+//!
+//! * the system model and a builder with a textual guard syntax
+//!   ([`System`], [`SystemBuilder`]);
+//! * runs and their validation ([`Run`], [`System::check_run`]) — used to
+//!   certify every witness the symbolic engine produces;
+//! * the *explicit* model checker ([`explicit`]): reachability over
+//!   `(state, valuation)` pairs for one fixed database — the reference
+//!   semantics everything else is validated against;
+//! * the **Fact 2** compilation of existential guards into extra registers
+//!   ([`elim`]);
+//! * the brute-force emptiness baseline ([`baseline`]): enumerate databases
+//!   of a class up to a size bound and model-check each (experiment E10's
+//!   comparator).
+//!
+//! Variable convention: register `i`'s old value is [`Var`]`(2i)` and its new
+//! value is `Var(2i+1)` ([`old_var`], [`new_var`]), so extending the register
+//! set never renumbers existing guards.
+
+pub mod baseline;
+pub mod elim;
+pub mod error;
+pub mod explicit;
+pub mod run;
+pub mod system;
+
+pub use baseline::bounded_emptiness;
+pub use elim::eliminate_existentials;
+pub use error::SystemError;
+pub use explicit::find_accepting_run;
+pub use run::Run;
+pub use system::{new_var, old_var, Rule, StateId, System, SystemBuilder};

@@ -1,0 +1,224 @@
+//! Runs of a database-driven system and their validation.
+
+use crate::error::SystemError;
+use crate::system::{new_var, old_var, StateId, System};
+use dds_logic::eval::eval;
+use dds_structure::{Element, Structure};
+use std::fmt;
+
+/// A run: a sequence of configurations `(q_i, val_i)` sharing one driving
+/// database (kept externally).
+///
+/// `states.len() == vals.len()`, and every `vals[i]` has one entry per
+/// register.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Run {
+    /// Control state at each step.
+    pub states: Vec<StateId>,
+    /// Register valuation at each step.
+    pub vals: Vec<Vec<Element>>,
+}
+
+impl Run {
+    /// Number of configurations.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// True when the run has no configurations.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Drops trailing registers, keeping the first `k` — inverse of the
+    /// Fact 2 elimination, which appends registers.
+    pub fn project_registers(&self, k: usize) -> Run {
+        Run {
+            states: self.states.clone(),
+            vals: self.vals.iter().map(|v| v[..k].to_vec()).collect(),
+        }
+    }
+}
+
+impl fmt::Display for Run {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, (q, v)) in self.states.iter().zip(&self.vals).enumerate() {
+            if i > 0 {
+                write!(f, " -> ")?;
+            }
+            write!(f, "({q:?},{v:?})")?;
+        }
+        Ok(())
+    }
+}
+
+impl System {
+    /// Builds the combined `old/new` valuation slice for guard evaluation:
+    /// variable `2i` gets `old[i]`, variable `2i+1` gets `new[i]`.
+    pub fn combined_valuation(&self, old: &[Element], new: &[Element]) -> Vec<Element> {
+        let k = self.num_registers();
+        debug_assert_eq!(old.len(), k);
+        debug_assert_eq!(new.len(), k);
+        let mut combined = Vec::with_capacity(2 * k);
+        for i in 0..k {
+            combined.push(old[i]);
+            combined.push(new[i]);
+        }
+        debug_assert!(combined.get(old_var(0).index()).is_none() == (k == 0));
+        debug_assert!(k == 0 || combined[new_var(k - 1).index()] == new[k - 1]);
+        combined
+    }
+
+    /// Checks whether some rule allows a transition between two
+    /// configurations over `db`.
+    pub fn has_transition(
+        &self,
+        db: &Structure,
+        from: StateId,
+        old: &[Element],
+        to: StateId,
+        new: &[Element],
+    ) -> bool {
+        let combined = self.combined_valuation(old, new);
+        self.rules_from(from).any(|r| {
+            r.to == to && eval(&r.guard, db, &combined).unwrap_or(false)
+        })
+    }
+
+    /// Validates a run against the semantics of §2: the first state is
+    /// initial, every register value lies in the domain, consecutive
+    /// configurations are connected by some rule, and (when
+    /// `require_accepting`) the final state is accepting.
+    pub fn check_run(
+        &self,
+        db: &Structure,
+        run: &Run,
+        require_accepting: bool,
+    ) -> Result<(), SystemError> {
+        let k = self.num_registers();
+        if run.is_empty() {
+            return Err(SystemError::InvalidRun("run has no configurations".into()));
+        }
+        if run.states.len() != run.vals.len() {
+            return Err(SystemError::InvalidRun(
+                "states/valuations length mismatch".into(),
+            ));
+        }
+        for (i, (q, v)) in run.states.iter().zip(&run.vals).enumerate() {
+            if q.index() >= self.num_states() {
+                return Err(SystemError::InvalidRun(format!("step {i}: bad state {q:?}")));
+            }
+            if v.len() != k {
+                return Err(SystemError::InvalidRun(format!(
+                    "step {i}: expected {k} register values, got {}",
+                    v.len()
+                )));
+            }
+            if v.iter().any(|e| e.index() >= db.size()) {
+                return Err(SystemError::InvalidRun(format!(
+                    "step {i}: register value outside the database domain"
+                )));
+            }
+        }
+        if !self.is_initial(run.states[0]) {
+            return Err(SystemError::InvalidRun(format!(
+                "first state `{}` is not initial",
+                self.state_name(run.states[0])
+            )));
+        }
+        for i in 0..run.len() - 1 {
+            if !self.has_transition(
+                db,
+                run.states[i],
+                &run.vals[i],
+                run.states[i + 1],
+                &run.vals[i + 1],
+            ) {
+                return Err(SystemError::InvalidRun(format!(
+                    "no rule allows step {} -> {}",
+                    i,
+                    i + 1
+                )));
+            }
+        }
+        if require_accepting && !self.is_accepting(*run.states.last().expect("nonempty")) {
+            return Err(SystemError::InvalidRun(format!(
+                "final state `{}` is not accepting",
+                self.state_name(*run.states.last().expect("nonempty"))
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::SystemBuilder;
+    use dds_structure::Schema;
+    use std::sync::Arc;
+
+    fn setup() -> (System, Structure) {
+        let mut s = Schema::new();
+        let e = s.add_relation("E", 2).unwrap();
+        let schema: Arc<Schema> = s.finish();
+        let mut b = SystemBuilder::new(schema.clone(), &["x"]);
+        b.state("s").initial();
+        b.state("t").accepting();
+        b.rule("s", "t", "E(x_old, x_new)").unwrap();
+        let sys = b.finish().unwrap();
+        let mut db = Structure::new(schema, 2);
+        db.add_fact(e, &[Element(0), Element(1)]).unwrap();
+        (sys, db)
+    }
+
+    #[test]
+    fn valid_run_checks() {
+        let (sys, db) = setup();
+        let run = Run {
+            states: vec![StateId(0), StateId(1)],
+            vals: vec![vec![Element(0)], vec![Element(1)]],
+        };
+        sys.check_run(&db, &run, true).unwrap();
+    }
+
+    #[test]
+    fn invalid_runs_rejected() {
+        let (sys, db) = setup();
+        // Wrong direction: E(1, 0) does not hold.
+        let bad = Run {
+            states: vec![StateId(0), StateId(1)],
+            vals: vec![vec![Element(1)], vec![Element(0)]],
+        };
+        assert!(sys.check_run(&db, &bad, true).is_err());
+        // Non-initial start.
+        let bad2 = Run {
+            states: vec![StateId(1)],
+            vals: vec![vec![Element(0)]],
+        };
+        assert!(sys.check_run(&db, &bad2, false).is_err());
+        // Non-accepting end only fails when acceptance required.
+        let partial = Run {
+            states: vec![StateId(0)],
+            vals: vec![vec![Element(0)]],
+        };
+        assert!(sys.check_run(&db, &partial, false).is_ok());
+        assert!(sys.check_run(&db, &partial, true).is_err());
+        // Value outside the domain.
+        let oob = Run {
+            states: vec![StateId(0)],
+            vals: vec![vec![Element(9)]],
+        };
+        assert!(sys.check_run(&db, &oob, false).is_err());
+    }
+
+    #[test]
+    fn project_registers_truncates() {
+        let run = Run {
+            states: vec![StateId(0)],
+            vals: vec![vec![Element(0), Element(1), Element(2)]],
+        };
+        let p = run.project_registers(1);
+        assert_eq!(p.vals, vec![vec![Element(0)]]);
+    }
+}

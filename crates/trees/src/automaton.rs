@@ -1,0 +1,649 @@
+//! Unranked tree automata in the paper's normalized form (§5.3), and the
+//! derived relations its component machinery needs.
+
+use crate::tree::Tree;
+
+/// A tree automaton over state set `Q`:
+///
+/// * each state reads a unique label;
+/// * `leaf` / `root` / `rightmost` state sets;
+/// * `fc` — `fc(p, q)`: `p` may label the leftmost child of a `q`-node;
+/// * `ns` — `ns(p, q)`: `p` may label the next sibling of a `q`-node.
+///
+/// A *run* labels every node with a state subject to these local conditions;
+/// a tree is accepted iff it admits a run.
+#[derive(Clone, Debug)]
+pub struct TreeAutomaton {
+    labels: Vec<String>,
+    state_label: Vec<usize>,
+    leaf: Vec<bool>,
+    root: Vec<bool>,
+    rightmost: Vec<bool>,
+    /// `fc[p][q]`.
+    fc: Vec<Vec<bool>>,
+    /// `ns[p][q]`.
+    ns: Vec<Vec<bool>>,
+    // ---- derived (computed at construction) ----
+    ground: Vec<bool>,
+    /// `kid[p][q]`: p can appear among the children of a q-node in a
+    /// completable chain.
+    kid: Vec<Vec<bool>>,
+    /// `desc[p][q]`: strict descendant reachability (transitive closure of
+    /// `kid`).
+    desc: Vec<Vec<bool>>,
+    /// Descendant component (SCC of the `kid` digraph) of each state.
+    comp_v: Vec<usize>,
+    num_comp_v: usize,
+    /// Is the descendant component branching (Lemma 22 applies)?
+    branching: Vec<bool>,
+    /// `left(Γ)` / `right(Γ)` as state sets.
+    left: Vec<Vec<bool>>,
+    right: Vec<Vec<bool>>,
+}
+
+impl TreeAutomaton {
+    /// Builds an automaton. `fc`/`ns` are pair lists `(p, q)`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        labels: Vec<String>,
+        state_label: Vec<usize>,
+        leaf: Vec<u32>,
+        root: Vec<u32>,
+        rightmost: Vec<u32>,
+        fc: Vec<(u32, u32)>,
+        ns: Vec<(u32, u32)>,
+    ) -> TreeAutomaton {
+        let n = state_label.len();
+        assert!(state_label.iter().all(|&l| l < labels.len()));
+        let set = |v: &[u32]| {
+            let mut out = vec![false; n];
+            for &x in v {
+                out[x as usize] = true;
+            }
+            out
+        };
+        let leaf = set(&leaf);
+        let root = set(&root);
+        let rightmost = set(&rightmost);
+        let mut fcm = vec![vec![false; n]; n];
+        for &(p, q) in &fc {
+            fcm[p as usize][q as usize] = true;
+        }
+        let mut nsm = vec![vec![false; n]; n];
+        for &(p, q) in &ns {
+            nsm[p as usize][q as usize] = true;
+        }
+        let mut a = TreeAutomaton {
+            labels,
+            state_label,
+            leaf,
+            root,
+            rightmost,
+            fc: fcm,
+            ns: nsm,
+            ground: vec![],
+            kid: vec![],
+            desc: vec![],
+            comp_v: vec![],
+            num_comp_v: 0,
+            branching: vec![],
+            left: vec![],
+            right: vec![],
+        };
+        a.derive();
+        a
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.state_label.len()
+    }
+
+    /// Label names.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// Label read by a state.
+    pub fn label(&self, q: u32) -> usize {
+        self.state_label[q as usize]
+    }
+
+    /// Leaf / root / rightmost state predicates.
+    pub fn is_leaf_state(&self, q: u32) -> bool {
+        self.leaf[q as usize]
+    }
+    /// See [`TreeAutomaton::is_leaf_state`].
+    pub fn is_root_state(&self, q: u32) -> bool {
+        self.root[q as usize]
+    }
+    /// See [`TreeAutomaton::is_leaf_state`].
+    pub fn is_rightmost_state(&self, q: u32) -> bool {
+        self.rightmost[q as usize]
+    }
+
+    /// Groundable: the subtree below a `q`-node can be completed.
+    pub fn is_groundable(&self, q: u32) -> bool {
+        self.ground[q as usize]
+    }
+
+    /// May `p` label the leftmost child of a `q`-node?
+    pub fn fc_allowed(&self, p: u32, q: u32) -> bool {
+        self.fc[p as usize][q as usize]
+    }
+
+    /// May `p` label the next sibling of a `q`-node?
+    pub fn ns_allowed(&self, p: u32, q: u32) -> bool {
+        self.ns[p as usize][q as usize]
+    }
+
+    /// `p` strictly follows `q` among siblings (`→h`): `ns⁺` over groundable
+    /// states.
+    pub fn ns_plus(&self, p: u32, q: u32) -> bool {
+        self.ground[p as usize] && self.ns_strict_forward(q)[p as usize]
+    }
+
+    /// `kid(p, q)` — see the struct docs.
+    pub fn kid(&self, p: u32, q: u32) -> bool {
+        self.kid[p as usize][q as usize]
+    }
+
+    /// Strict-descendant reachability `→v`.
+    pub fn desc(&self, p: u32, q: u32) -> bool {
+        self.desc[p as usize][q as usize]
+    }
+
+    /// Descendant component of a state.
+    pub fn comp(&self, q: u32) -> usize {
+        self.comp_v[q as usize]
+    }
+
+    /// Number of descendant components.
+    pub fn num_components(&self) -> usize {
+        self.num_comp_v
+    }
+
+    /// Is the component branching?
+    pub fn is_branching(&self, comp: usize) -> bool {
+        self.branching[comp]
+    }
+
+    /// `left(Γ)` membership.
+    pub fn in_left(&self, comp: usize, q: u32) -> bool {
+        self.left[comp][q as usize]
+    }
+
+    /// `right(Γ)` membership.
+    pub fn in_right(&self, comp: usize, q: u32) -> bool {
+        self.right[comp][q as usize]
+    }
+
+    fn derive(&mut self) {
+        let n = self.num_states();
+        // Groundability: least fixpoint.
+        let mut ground = self.leaf.clone();
+        loop {
+            let mut changed = false;
+            for q in 0..n {
+                if !ground[q] && self.chain_exists(q as u32, &ground) {
+                    ground[q] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        self.ground = ground;
+        // kid: forward reach from fc-starts ∩ backward reach from rightmost,
+        // over groundable states.
+        let mut kid = vec![vec![false; n]; n];
+        for q in 0..n {
+            let fwd = self.ns_forward_reach(q as u32);
+            let bwd = self.ns_backward_rightmost();
+            for p in 0..n {
+                kid[p][q] = self.ground[p] && fwd[p] && bwd[p];
+            }
+        }
+        self.kid = kid;
+        // desc = transitive closure of kid (edges parent -> child composed).
+        let mut desc = self.kid.clone();
+        loop {
+            let mut changed = false;
+            for p in 0..n {
+                for q in 0..n {
+                    if !desc[p][q] {
+                        // p below r below q?
+                        if (0..n).any(|r| desc[p][r] && desc[r][q]) {
+                            desc[p][q] = true;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        self.desc = desc;
+        // Components: SCCs of desc (p and q mutually desc-related), with
+        // singletons for the rest.
+        let mut comp = vec![usize::MAX; n];
+        let mut num = 0;
+        for q in 0..n {
+            if comp[q] == usize::MAX {
+                comp[q] = num;
+                for p in q + 1..n {
+                    if comp[p] == usize::MAX && self.desc[p][q] && self.desc[q][p] {
+                        comp[p] = num;
+                    }
+                }
+                num += 1;
+            }
+        }
+        self.comp_v = comp;
+        self.num_comp_v = num;
+        // Branching: some q in Γ has a completable chain with two Γ-states.
+        let mut branching = vec![false; num];
+        for q in 0..n as u32 {
+            let c = self.comp_v[q as usize];
+            if branching[c] {
+                continue;
+            }
+            'outer: for p1 in 0..n as u32 {
+                if self.comp_v[p1 as usize] != c || !self.kid(p1, q) {
+                    continue;
+                }
+                // p2 in Γ strictly after p1 on some chain of q.
+                let after = self.ns_strict_forward(p1);
+                let bwd = self.ns_backward_rightmost();
+                let from_fc = self.ns_forward_reach(q as u32);
+                for p2 in 0..n as u32 {
+                    if self.comp_v[p2 as usize] == c
+                        && self.ground[p2 as usize]
+                        && after[p2 as usize]
+                        && bwd[p2 as usize]
+                        && from_fc[p1 as usize]
+                    {
+                        branching[c] = true;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        self.branching = branching;
+        // left(Γ): subtree states of a strictly-earlier sibling of a Γ-child
+        // under a Γ-parent; right symmetrically.
+        let mut left = vec![vec![false; n]; num];
+        let mut right = vec![vec![false; n]; num];
+        for q in 0..n as u32 {
+            let c = self.comp_v[q as usize];
+            let from_fc = self.ns_forward_reach(q);
+            let bwd = self.ns_backward_rightmost();
+            for p in 0..n as u32 {
+                // p in Γ, on a completable chain of q.
+                if self.comp_v[p as usize] != c || !self.kid(p, q) {
+                    continue;
+                }
+                // Earlier siblings s: from_fc[s] and s ->ns+ p.
+                for s in 0..n as u32 {
+                    if !self.ground[s as usize] || !from_fc[s as usize] {
+                        continue;
+                    }
+                    if self.ns_strict_forward(s)[p as usize] {
+                        for u in 0..n as u32 {
+                            if u == s || self.desc[u as usize][s as usize] {
+                                left[c][u as usize] = true;
+                            }
+                        }
+                    }
+                }
+                // Later siblings s: p ->ns+ s and s completable to rightmost.
+                let after_p = self.ns_strict_forward(p);
+                for s in 0..n as u32 {
+                    if self.ground[s as usize] && after_p[s as usize] && bwd[s as usize] {
+                        for u in 0..n as u32 {
+                            if u == s || self.desc[u as usize][s as usize] {
+                                right[c][u as usize] = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.left = left;
+        self.right = right;
+    }
+
+    /// Does a completable children chain for a `q`-node exist, over states
+    /// `ok` (used with partial ground sets during the fixpoint)?
+    fn chain_exists(&self, q: u32, ok: &[bool]) -> bool {
+        let n = self.num_states();
+        // BFS over chain states starting from allowed first children.
+        let mut reach = vec![false; n];
+        let mut stack = Vec::new();
+        for c0 in 0..n {
+            if self.fc[c0][q as usize] && ok[c0] {
+                reach[c0] = true;
+                stack.push(c0);
+            }
+        }
+        while let Some(x) = stack.pop() {
+            if self.rightmost[x] {
+                return true;
+            }
+            for y in 0..n {
+                if self.ns[y][x] && ok[y] && !reach[y] {
+                    reach[y] = true;
+                    stack.push(y);
+                }
+            }
+        }
+        false
+    }
+
+    /// States reachable on a chain of `q` from some allowed first child
+    /// (inclusive), over groundable states.
+    fn ns_forward_reach(&self, q: u32) -> Vec<bool> {
+        let n = self.num_states();
+        let mut reach = vec![false; n];
+        let mut stack = Vec::new();
+        for c0 in 0..n {
+            if self.fc[c0][q as usize] && self.ground[c0] {
+                reach[c0] = true;
+                stack.push(c0);
+            }
+        }
+        while let Some(x) = stack.pop() {
+            for y in 0..n {
+                if self.ns[y][x] && self.ground[y] && !reach[y] {
+                    reach[y] = true;
+                    stack.push(y);
+                }
+            }
+        }
+        reach
+    }
+
+    /// States from which a rightmost groundable state is `ns*`-reachable
+    /// (inclusive).
+    fn ns_backward_rightmost(&self) -> Vec<bool> {
+        let n = self.num_states();
+        let mut reach: Vec<bool> = (0..n).map(|x| self.rightmost[x] && self.ground[x]).collect();
+        loop {
+            let mut changed = false;
+            for x in 0..n {
+                if !reach[x] && self.ground[x] && (0..n).any(|y| self.ns[y][x] && reach[y]) {
+                    reach[x] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        reach
+    }
+
+    /// States strictly `ns+`-after `p` (over groundable states).
+    fn ns_strict_forward(&self, p: u32) -> Vec<bool> {
+        let n = self.num_states();
+        let mut reach = vec![false; n];
+        let mut stack = Vec::new();
+        for y in 0..n {
+            if self.ns[y][p as usize] && self.ground[y] {
+                reach[y] = true;
+                stack.push(y);
+            }
+        }
+        while let Some(x) = stack.pop() {
+            for y in 0..n {
+                if self.ns[y][x] && self.ground[y] && !reach[y] {
+                    reach[y] = true;
+                    stack.push(y);
+                }
+            }
+        }
+        reach
+    }
+
+    /// Checks the local run conditions for a full state labeling.
+    pub fn is_run(&self, t: &Tree, states: &[u32]) -> bool {
+        if states.len() != t.len() {
+            return false;
+        }
+        if !self.root[states[0] as usize] {
+            return false;
+        }
+        for v in 0..t.len() {
+            let q = states[v];
+            if self.state_label[q as usize] != t.label(v) {
+                return false;
+            }
+            let ch = t.children(v);
+            if ch.is_empty() {
+                if !self.leaf[q as usize] {
+                    return false;
+                }
+            } else {
+                if !self.fc[states[ch[0]] as usize][q as usize] {
+                    return false;
+                }
+                for w in ch.windows(2) {
+                    if !self.ns[states[w[1]] as usize][states[w[0]] as usize] {
+                        return false;
+                    }
+                }
+                if !self.rightmost[states[*ch.last().expect("nonempty")] as usize] {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Finds a run on `t` by bottom-up dynamic programming, if one exists.
+    pub fn find_run(&self, t: &Tree) -> Option<Vec<u32>> {
+        let n = self.num_states();
+        // possible[v] = set of states v can take.
+        let mut possible: Vec<Vec<bool>> = vec![vec![false; n]; t.len()];
+        // Process nodes in reverse document order (children before parents).
+        let order = t.doc_order();
+        for &v in order.iter().rev() {
+            for q in 0..n {
+                if self.state_label[q] != t.label(v) {
+                    continue;
+                }
+                let ch = t.children(v);
+                if ch.is_empty() {
+                    possible[v][q] = self.leaf[q];
+                } else {
+                    possible[v][q] = self.chain_over(q as u32, ch, &possible).is_some();
+                }
+            }
+        }
+        let q0 = (0..n).find(|&q| self.root[q] && possible[0][q])?;
+        // Extract states top-down.
+        let mut states = vec![u32::MAX; t.len()];
+        states[0] = q0 as u32;
+        let mut stack = vec![0usize];
+        while let Some(v) = stack.pop() {
+            let ch = t.children(v);
+            if !ch.is_empty() {
+                let assignment = self
+                    .chain_over(states[v], ch, &possible)
+                    .expect("possible was computed");
+                for (&c, q) in ch.iter().zip(assignment) {
+                    states[c] = q;
+                    stack.push(c);
+                }
+            }
+        }
+        debug_assert!(self.is_run(t, &states));
+        Some(states)
+    }
+
+    /// Finds state choices for a children list under parent state `q`,
+    /// respecting per-child possibility sets.
+    fn chain_over(&self, q: u32, children: &[usize], possible: &[Vec<bool>]) -> Option<Vec<u32>> {
+        let n = self.num_states();
+        // DP over children positions; parent[i][s] remembers predecessor.
+        let mut cur: Vec<Option<u32>> = vec![None; n]; // predecessor marker
+        let mut layers: Vec<Vec<Option<u32>>> = Vec::with_capacity(children.len());
+        for s in 0..n {
+            if self.fc[s][q as usize] && possible[children[0]][s] {
+                cur[s] = Some(u32::MAX);
+            }
+        }
+        layers.push(cur.clone());
+        for &c in &children[1..] {
+            let mut next: Vec<Option<u32>> = vec![None; n];
+            for s in 0..n {
+                if !possible[c][s] {
+                    continue;
+                }
+                for prev in 0..n {
+                    if layers.last().expect("pushed")[prev].is_some() && self.ns[s][prev] {
+                        next[s] = Some(prev as u32);
+                        break;
+                    }
+                }
+            }
+            layers.push(next);
+        }
+        let last = layers.last().expect("nonempty");
+        let end = (0..n).find(|&s| last[s].is_some() && self.rightmost[s])?;
+        // Walk back.
+        let mut out = vec![0u32; children.len()];
+        let mut s = end as u32;
+        for i in (0..children.len()).rev() {
+            out[i] = s;
+            if i > 0 {
+                s = layers[i][s as usize].expect("chained");
+            }
+        }
+        Some(out)
+    }
+
+    /// Does the automaton accept `t`?
+    pub fn accepts(&self, t: &Tree) -> bool {
+        self.find_run(t).is_some()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod fixtures {
+    use super::*;
+
+    /// "Descendant chains of a's ending in a leaf b", branching allowed:
+    /// labels: r(root), a, b. States: R (root, reads r), A (reads a),
+    /// B (leaf, reads b). Children chains: single child only.
+    pub fn chain_automaton() -> TreeAutomaton {
+        TreeAutomaton::new(
+            vec!["r".into(), "a".into(), "b".into()],
+            vec![0, 1, 2],
+            vec![2],          // leaf: B
+            vec![0],          // root: R
+            vec![0, 1, 2],    // rightmost: anything
+            vec![(1, 0), (2, 0), (1, 1), (2, 1)], // fc: A|B under R, A|B under A
+            vec![],           // no siblings: unary trees
+        )
+    }
+
+    /// Binary-ish: R root with children chains of A's (each A a leaf).
+    pub fn star_automaton() -> TreeAutomaton {
+        TreeAutomaton::new(
+            vec!["r".into(), "a".into()],
+            vec![0, 1],
+            vec![1],
+            vec![0],
+            vec![1],
+            vec![(1, 0)],
+            vec![(1, 1)], // A can follow A
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::fixtures::{chain_automaton, star_automaton};
+    use super::*;
+
+    #[test]
+    fn runs_on_chains() {
+        let aut = chain_automaton();
+        // r -> a -> a -> b
+        let mut t = Tree::leaf(0);
+        let a1 = t.push_child(0, 1);
+        let a2 = t.push_child(a1, 1);
+        t.push_child(a2, 2);
+        let run = aut.find_run(&t).expect("accepted");
+        assert!(aut.is_run(&t, &run));
+        assert_eq!(run, vec![0, 1, 1, 2]);
+        // r -> a (a is not a leaf state) rejected.
+        let mut t2 = Tree::leaf(0);
+        t2.push_child(0, 1);
+        assert!(!aut.accepts(&t2));
+        // lone r: root has no children but R is not a leaf state.
+        assert!(!aut.accepts(&Tree::leaf(0)));
+    }
+
+    #[test]
+    fn star_accepts_any_fanout() {
+        let aut = star_automaton();
+        let mut t = Tree::leaf(0);
+        for _ in 0..4 {
+            t.push_child(0, 1);
+        }
+        assert!(aut.accepts(&t));
+        // children must all be a's.
+        let mut t2 = Tree::leaf(0);
+        t2.push_child(0, 0);
+        assert!(!aut.accepts(&t2));
+    }
+
+    #[test]
+    fn derived_relations() {
+        let aut = chain_automaton();
+        // A (state 1) can be a child of R (0) and of A.
+        assert!(aut.kid(1, 0));
+        assert!(aut.kid(1, 1));
+        assert!(aut.kid(2, 1));
+        // Descendants: B below R transitively.
+        assert!(aut.desc(2, 0));
+        // A is in its own SCC (A kid A): component of A is self-reachable;
+        // R and B are singletons.
+        assert_eq!(aut.comp(0), aut.comp(0));
+        assert_ne!(aut.comp(1), aut.comp(2));
+        // Unary chains: component of A is linear (never two A-children).
+        assert!(!aut.is_branching(aut.comp(1)));
+        // All states groundable.
+        for q in 0..aut.num_states() as u32 {
+            assert!(aut.is_groundable(q));
+        }
+    }
+
+    #[test]
+    fn star_component_is_branching_when_sibling_loop_exists() {
+        let aut = star_automaton();
+        // A can repeat as siblings under R, but A-children of A don't exist;
+        // so A's *descendant* component is a singleton and not branching.
+        assert!(!aut.is_branching(aut.comp(1)));
+        // Extend: A under A as well -> branching via sibling repetition.
+        let aut2 = TreeAutomaton::new(
+            vec!["r".into(), "a".into()],
+            vec![0, 1],
+            vec![1],
+            vec![0],
+            vec![1],
+            vec![(1, 0), (1, 1)],
+            vec![(1, 1)],
+        );
+        assert!(aut2.is_branching(aut2.comp(1)));
+        // left = right for branching components (Lemma 22).
+        let c = aut2.comp(1);
+        for q in 0..aut2.num_states() as u32 {
+            assert_eq!(aut2.in_left(c, q), aut2.in_right(c, q));
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! The pointer functions of §5.4 on concrete runs, pointer closure, and the
+//! Lemma 14 blowup measurement.
+
+use crate::automaton::TreeAutomaton;
+use crate::tree::Tree;
+use std::collections::BTreeSet;
+
+/// Pointer data of one run: everything §5.4 attaches to `Rundb(ρ)`.
+#[derive(Clone, Debug)]
+pub struct RunPointers {
+    /// Is the node component-maximal (no child in the same descendant
+    /// component)?
+    pub comp_maximal: Vec<bool>,
+    /// `ancestormost_Γ(v)` per node per component (self encodes undefined).
+    pub amost: Vec<Vec<usize>>,
+    /// `descendantmost(v)` (self encodes undefined / non-linear component).
+    pub dmost: Vec<usize>,
+    /// `leftmost_q(v)` per node per state (self encodes undefined).
+    pub leftmost: Vec<Vec<usize>>,
+    /// `rightmost_q(v)` per node per state.
+    pub rightmost: Vec<Vec<usize>>,
+}
+
+/// Computes all pointer functions for a run.
+pub fn run_pointers(aut: &TreeAutomaton, t: &Tree, states: &[u32]) -> RunPointers {
+    let n = t.len();
+    let ncomp = aut.num_components();
+    let nstates = aut.num_states();
+    let comp_of = |v: usize| aut.comp(states[v]);
+
+    let comp_maximal: Vec<bool> = (0..n)
+        .map(|v| t.children(v).iter().all(|&c| comp_of(c) != comp_of(v)))
+        .collect();
+
+    let mut amost = vec![vec![0usize; ncomp]; n];
+    for v in 0..n {
+        for c in 0..ncomp {
+            // Topmost node on the path v -> root whose state is in c.
+            let mut best = v; // self = undefined
+            let mut cur = Some(v);
+            while let Some(x) = cur {
+                if comp_of(x) == c {
+                    best = x;
+                }
+                cur = t.parent(x);
+            }
+            amost[v][c] = best;
+        }
+    }
+
+    let mut dmost = vec![0usize; n];
+    for v in 0..n {
+        let c = comp_of(v);
+        if aut.is_branching(c) {
+            dmost[v] = v;
+            continue;
+        }
+        // Follow the (unique, by linearity) same-component child chain.
+        let mut cur = v;
+        loop {
+            match t.children(cur).iter().find(|&&w| comp_of(w) == c) {
+                Some(&w) => cur = w,
+                None => break,
+            }
+        }
+        dmost[v] = cur;
+    }
+
+    let mut leftmost = vec![vec![0usize; nstates]; n];
+    let mut rightmost = vec![vec![0usize; nstates]; n];
+    for v in 0..n {
+        for q in 0..nstates {
+            let (mut lm, mut rm) = (v, v);
+            if comp_maximal[v] {
+                for &c in t.children(v) {
+                    if states[c] as usize == q {
+                        if lm == v {
+                            lm = c;
+                        }
+                        rm = c;
+                    }
+                }
+            }
+            leftmost[v][q] = lm;
+            rightmost[v][q] = rm;
+        }
+    }
+
+    RunPointers {
+        comp_maximal,
+        amost,
+        dmost,
+        leftmost,
+        rightmost,
+    }
+}
+
+/// Closes a seed set under `cca` and all pointer functions — the generated
+/// substructure of `Rundb(ρ)` (§4.1 applied to trees).
+pub fn pointer_closure(
+    t: &Tree,
+    ptr: &RunPointers,
+    seeds: &[usize],
+) -> BTreeSet<usize> {
+    let mut set: BTreeSet<usize> = seeds.iter().copied().collect();
+    loop {
+        let mut add: BTreeSet<usize> = BTreeSet::new();
+        let items: Vec<usize> = set.iter().copied().collect();
+        for &a in &items {
+            for &b in &items {
+                add.insert(t.cca(a, b));
+            }
+            for &x in &ptr.amost[a] {
+                add.insert(x);
+            }
+            add.insert(ptr.dmost[a]);
+            for &x in &ptr.leftmost[a] {
+                add.insert(x);
+            }
+            for &x in &ptr.rightmost[a] {
+                add.insert(x);
+            }
+        }
+        let before = set.len();
+        set.extend(add);
+        if set.len() == before {
+            return set;
+        }
+    }
+}
+
+/// Measured blowup: `|closure(seeds)| / |seeds|` for Lemma 14 (the lemma
+/// bounds it by a constant exponential in `|Q|`, independent of the tree).
+pub fn blowup_ratio(t: &Tree, ptr: &RunPointers, seeds: &[usize]) -> f64 {
+    if seeds.is_empty() {
+        return 1.0;
+    }
+    pointer_closure(t, ptr, seeds).len() as f64 / seeds.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::fixtures::{chain_automaton, star_automaton};
+
+    fn chain_tree(depth: usize) -> (Tree, Vec<u32>) {
+        // r -> a -> a -> .. -> a -> b
+        let mut t = Tree::leaf(0);
+        let mut cur = 0;
+        for _ in 0..depth {
+            cur = t.push_child(cur, 1);
+        }
+        let leaf = t.push_child(cur, 2);
+        let _ = leaf;
+        let mut states = vec![0u32];
+        states.extend(std::iter::repeat(1).take(depth));
+        states.push(2);
+        (t, states)
+    }
+
+    #[test]
+    fn amost_and_dmost_on_chains() {
+        let aut = chain_automaton();
+        let (t, states) = chain_tree(3); // r a a a b : ids 0..4
+        assert!(aut.is_run(&t, &states));
+        let ptr = run_pointers(&aut, &t, &states);
+        let ca = aut.comp(1);
+        // ancestormost_A of the deep a (id 3) is the top a (id 1).
+        assert_eq!(ptr.amost[3][ca], 1);
+        // of the b leaf (id 4) as well.
+        assert_eq!(ptr.amost[4][ca], 1);
+        // dmost of the top a is the deepest a.
+        assert_eq!(ptr.dmost[1], 3);
+        // the root's component never reappears: amost = self for others.
+        let cr = aut.comp(0);
+        assert_eq!(ptr.amost[3][cr], 0);
+        assert_eq!(ptr.amost[0][cr], 0);
+        // a-nodes with an a-child are not comp-maximal; the last a is.
+        assert!(!ptr.comp_maximal[1]);
+        assert!(!ptr.comp_maximal[2]);
+        assert!(ptr.comp_maximal[3]);
+    }
+
+    #[test]
+    fn leftmost_rightmost_on_stars() {
+        let aut = star_automaton();
+        let mut t = Tree::leaf(0);
+        for _ in 0..3 {
+            t.push_child(0, 1);
+        }
+        let states = vec![0, 1, 1, 1];
+        assert!(aut.is_run(&t, &states));
+        let ptr = run_pointers(&aut, &t, &states);
+        assert!(ptr.comp_maximal[0]);
+        assert_eq!(ptr.leftmost[0][1], 1);
+        assert_eq!(ptr.rightmost[0][1], 3);
+        // No r-children: pointer is self.
+        assert_eq!(ptr.leftmost[0][0], 0);
+    }
+
+    #[test]
+    fn closure_contains_root_and_is_idempotent() {
+        let aut = chain_automaton();
+        let (t, states) = chain_tree(4);
+        let ptr = run_pointers(&aut, &t, &states);
+        for seed in 1..t.len() {
+            let cl = pointer_closure(&t, &ptr, &[seed]);
+            // The derivation in dds-words generalizes: ancestormost of the
+            // root's component forces the root into every closure.
+            assert!(cl.contains(&0), "closure of {seed} misses the root");
+            // Idempotent.
+            let again: Vec<usize> = cl.iter().copied().collect();
+            assert_eq!(pointer_closure(&t, &ptr, &again), cl);
+        }
+    }
+
+    #[test]
+    fn blowup_is_bounded_on_growing_chains() {
+        // Lemma 14: closure size <= c * seeds, c independent of tree size.
+        let aut = chain_automaton();
+        let mut ratios = Vec::new();
+        for depth in [4usize, 8, 16, 32] {
+            let (t, states) = chain_tree(depth);
+            let ptr = run_pointers(&aut, &t, &states);
+            let seed = t.len() - 1; // the deep leaf
+            ratios.push(blowup_ratio(&t, &ptr, &[seed]));
+        }
+        // Ratios stay constant (closure = {leaf, deepest a, top a, root}).
+        for r in &ratios {
+            assert!(*r <= 5.0, "blowup grew: {ratios:?}");
+        }
+        assert_eq!(ratios[0], ratios[3]);
+    }
+}

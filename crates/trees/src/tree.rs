@@ -1,0 +1,264 @@
+//! Unranked, sibling-ordered trees and their `Treedb` encoding (§3.1).
+
+use dds_structure::{Element, Schema, Structure, SymbolId};
+use std::sync::Arc;
+
+/// An unranked ordered tree. Node 0 is the root; children are ordered.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Tree {
+    /// Parent of each node (`None` for the root).
+    parent: Vec<Option<usize>>,
+    /// Children of each node, in sibling order.
+    children: Vec<Vec<usize>>,
+    /// Label of each node (index into an external alphabet).
+    labels: Vec<usize>,
+}
+
+impl Tree {
+    /// Creates a single-node tree.
+    pub fn leaf(label: usize) -> Tree {
+        Tree {
+            parent: vec![None],
+            children: vec![vec![]],
+            labels: vec![label],
+        }
+    }
+
+    /// Appends a new node under `parent`, as its rightmost child; returns
+    /// the new node id.
+    pub fn push_child(&mut self, parent: usize, label: usize) -> usize {
+        let id = self.parent.len();
+        self.parent.push(Some(parent));
+        self.children.push(vec![]);
+        self.labels.push(label);
+        self.children[parent].push(id);
+        id
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True when the tree has one node. (Trees are never empty.)
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Node label.
+    pub fn label(&self, v: usize) -> usize {
+        self.labels[v]
+    }
+
+    /// Overwrites a node label.
+    pub fn set_label(&mut self, v: usize, label: usize) {
+        self.labels[v] = label;
+    }
+
+    /// Parent of a node.
+    pub fn parent(&self, v: usize) -> Option<usize> {
+        self.parent[v]
+    }
+
+    /// Children in sibling order.
+    pub fn children(&self, v: usize) -> &[usize] {
+        &self.children[v]
+    }
+
+    /// Is `a` an ancestor of (or equal to) `b`?
+    pub fn is_ancestor(&self, a: usize, b: usize) -> bool {
+        let mut cur = Some(b);
+        while let Some(x) = cur {
+            if x == a {
+                return true;
+            }
+            cur = self.parent[x];
+        }
+        false
+    }
+
+    /// Depth of a node (root = 0).
+    pub fn depth(&self, v: usize) -> usize {
+        let mut d = 0;
+        let mut cur = self.parent[v];
+        while let Some(x) = cur {
+            d += 1;
+            cur = self.parent[x];
+        }
+        d
+    }
+
+    /// Closest common ancestor.
+    pub fn cca(&self, a: usize, b: usize) -> usize {
+        let mut pa = a;
+        let mut pb = b;
+        let (mut da, mut db) = (self.depth(a), self.depth(b));
+        while da > db {
+            pa = self.parent[pa].expect("depth positive");
+            da -= 1;
+        }
+        while db > da {
+            pb = self.parent[pb].expect("depth positive");
+            db -= 1;
+        }
+        while pa != pb {
+            pa = self.parent[pa].expect("will meet at root");
+            pb = self.parent[pb].expect("will meet at root");
+        }
+        pa
+    }
+
+    /// Rolls back to the first `keep` nodes; nodes `keep..` must have been
+    /// appended (in order) as descendants of still-kept nodes, the most
+    /// recent ones as children of `parent_hint` (used by the enumerators'
+    /// backtracking).
+    pub fn truncate(&mut self, keep: usize, parent_hint: usize) {
+        let _ = parent_hint;
+        for v in (keep..self.len()).rev() {
+            let p = self.parent[v].expect("appended nodes have parents");
+            self.children[p].retain(|&c| c != v);
+        }
+        self.parent.truncate(keep);
+        self.children.truncate(keep);
+        self.labels.truncate(keep);
+    }
+
+    /// Document (pre)order of all nodes.
+    pub fn doc_order(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.len());
+        let mut stack = vec![0usize];
+        while let Some(v) = stack.pop() {
+            out.push(v);
+            for &c in self.children[v].iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// Position of each node in document order (`doc_index[v]`).
+    pub fn doc_index(&self) -> Vec<usize> {
+        let order = self.doc_order();
+        let mut idx = vec![0usize; self.len()];
+        for (i, &v) in order.iter().enumerate() {
+            idx[v] = i;
+        }
+        idx
+    }
+}
+
+/// The schema `TreeSchema(A)`: one unary predicate per label, `<=`
+/// (descendant order, reflexive: `x <= y` iff x is an ancestor-or-self of
+/// y), `<<` (strict document order) and the binary function `cca`.
+pub fn tree_schema(labels: &[String]) -> Arc<Schema> {
+    let mut sc = Schema::new();
+    for l in labels {
+        sc.add_relation(l, 1).expect("distinct labels");
+    }
+    sc.add_relation("<=", 2).expect("fresh");
+    sc.add_relation("<<", 2).expect("fresh");
+    sc.add_function("cca", 2).expect("fresh");
+    sc.finish()
+}
+
+/// Label symbols of a tree schema, in label order.
+pub fn label_symbols(schema: &Arc<Schema>, labels: &[String]) -> Vec<SymbolId> {
+    labels
+        .iter()
+        .map(|l| schema.lookup(l).expect("label in schema"))
+        .collect()
+}
+
+/// Builds `Treedb(t)` over a tree schema.
+pub fn treedb(schema: &Arc<Schema>, label_syms: &[SymbolId], t: &Tree) -> Structure {
+    let mut s = Structure::new(schema.clone(), t.len());
+    let le = schema.lookup("<=").expect("tree schema");
+    let doc = schema.lookup("<<").expect("tree schema");
+    let cca = schema.lookup("cca").expect("tree schema");
+    let doc_idx = t.doc_index();
+    for v in 0..t.len() {
+        s.add_fact(label_syms[t.label(v)], &[Element::from_index(v)])
+            .expect("valid");
+        for w in 0..t.len() {
+            if t.is_ancestor(v, w) {
+                s.add_fact(le, &[Element::from_index(v), Element::from_index(w)])
+                    .expect("valid");
+            }
+            if doc_idx[v] < doc_idx[w] {
+                s.add_fact(doc, &[Element::from_index(v), Element::from_index(w)])
+                    .expect("valid");
+            }
+            s.set_func(
+                cca,
+                &[Element::from_index(v), Element::from_index(w)],
+                Element::from_index(t.cca(v, w)),
+            )
+            .expect("valid");
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// root(0) -> a(1)[c(3), d(4)], b(2)
+    fn sample() -> Tree {
+        let mut t = Tree::leaf(0);
+        let a = t.push_child(0, 1);
+        let _b = t.push_child(0, 2);
+        t.push_child(a, 3);
+        t.push_child(a, 4);
+        t
+    }
+
+    #[test]
+    fn structure_queries() {
+        let t = sample();
+        assert_eq!(t.len(), 5);
+        assert!(t.is_ancestor(0, 3));
+        assert!(t.is_ancestor(1, 4));
+        assert!(!t.is_ancestor(2, 3));
+        assert_eq!(t.cca(3, 4), 1);
+        assert_eq!(t.cca(3, 2), 0);
+        assert_eq!(t.cca(3, 3), 3);
+        assert_eq!(t.depth(3), 2);
+    }
+
+    #[test]
+    fn document_order_is_preorder() {
+        let t = sample();
+        // ids: 0 root, 1 = a, 2 = b, 3 = c, 4 = d; preorder: 0 1 3 4 2.
+        assert_eq!(t.doc_order(), vec![0, 1, 3, 4, 2]);
+        let idx = t.doc_index();
+        assert!(idx[1] < idx[3] && idx[3] < idx[4] && idx[4] < idx[2]);
+    }
+
+    #[test]
+    fn treedb_encodes_relations() {
+        let labels: Vec<String> = ["r", "a", "b", "c", "d"].iter().map(|s| s.to_string()).collect();
+        let schema = tree_schema(&labels);
+        let syms = label_symbols(&schema, &labels);
+        let t = sample();
+        let db = treedb(&schema, &syms, &t);
+        db.validate().unwrap();
+        let le = schema.lookup("<=").unwrap();
+        let doc = schema.lookup("<<").unwrap();
+        let cca = schema.lookup("cca").unwrap();
+        assert!(db.holds(le, &[Element(0), Element(3)]));
+        assert!(db.holds(le, &[Element(3), Element(3)])); // reflexive
+        assert!(!db.holds(le, &[Element(3), Element(0)]));
+        assert!(db.holds(doc, &[Element(3), Element(2)]));
+        assert_eq!(db.apply(cca, &[Element(3), Element(4)]), Element(1));
+        // x <= y iff x = cca(x, y) — the paper's definability remark.
+        for x in db.elements() {
+            for y in db.elements() {
+                assert_eq!(
+                    db.holds(le, &[x, y]),
+                    db.apply(cca, &[x, y]) == x
+                );
+            }
+        }
+    }
+}

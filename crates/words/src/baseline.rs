@@ -1,0 +1,183 @@
+//! Brute-force baseline for the word case: enumerate the words of `L` up to
+//! a length bound and model-check each (the comparator for experiments E5
+//! and E10, and the oracle for cross-validation tests).
+
+use crate::class::WordClass;
+use crate::nfa::NfaStateId;
+use dds_structure::Structure;
+use dds_system::explicit::find_accepting_run;
+use dds_system::{Run, System};
+
+/// Enumerates all accepting state sequences of the automaton with length in
+/// `1..=max_len` (i.e. all words of `L` up to the bound, with their runs —
+/// the same word may appear under several runs).
+pub fn accepting_sequences(class: &WordClass, max_len: usize) -> Vec<Vec<NfaStateId>> {
+    let nfa = class.nfa();
+    let mut out = Vec::new();
+    let mut stack: Vec<Vec<NfaStateId>> =
+        nfa.states().filter(|&q| nfa.is_entry(q)).map(|q| vec![q]).collect();
+    while let Some(seq) = stack.pop() {
+        if nfa.is_accepting(*seq.last().expect("nonempty")) {
+            out.push(seq.clone());
+        }
+        if seq.len() < max_len {
+            for &q in nfa.successors(*seq.last().expect("nonempty")) {
+                let mut next = seq.clone();
+                next.push(q);
+                stack.push(next);
+            }
+        }
+    }
+    out
+}
+
+/// Bounded emptiness: tries every word of `L` up to `max_len` positions.
+/// Complete only up to the bound — the point of Theorem 10 is that the
+/// symbolic engine needs no bound.
+pub fn bounded_emptiness(
+    class: &WordClass,
+    system: &System,
+    max_len: usize,
+) -> Option<(Structure, Run)> {
+    for seq in accepting_sequences(class, max_len) {
+        let db = class.worddb(&seq);
+        if let Some(run) = find_accepting_run(system, &db) {
+            return Some((db, run));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nfa::Nfa;
+    use dds_core::SymbolicClass;
+    use dds_system::SystemBuilder;
+
+    fn ab_plus() -> WordClass {
+        WordClass::new(
+            Nfa::new(
+                vec!["a".into(), "b".into()],
+                vec![0, 1],
+                vec![(0, 1), (1, 0)],
+                vec![0],
+                vec![1],
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn enumerates_words_by_length() {
+        let class = ab_plus();
+        // (ab)+ words of length <= 6: ab, abab, ababab.
+        assert_eq!(accepting_sequences(&class, 6).len(), 3);
+        assert_eq!(accepting_sequences(&class, 1).len(), 0);
+    }
+
+    #[test]
+    fn baseline_finds_short_witness() {
+        let class = ab_plus();
+        let schema = class.schema().clone();
+        let mut b = SystemBuilder::new(schema, &["x"]);
+        b.state("s").initial();
+        b.state("t").accepting();
+        b.rule("s", "t", "x_old < x_new & a(x_old) & b(x_new)").unwrap();
+        let system = b.finish().unwrap();
+        let (db, run) = bounded_emptiness(&class, &system, 4).expect("ab works");
+        system.check_run(&db, &run, true).unwrap();
+        assert_eq!(db.size(), 2);
+    }
+
+    #[test]
+    fn baseline_respects_bound() {
+        let class = ab_plus();
+        let schema = class.schema().clone();
+        let mut b = SystemBuilder::new(schema, &["x", "y", "z"]);
+        b.state("s").initial();
+        b.state("t").accepting();
+        // Needs three distinct a-positions: shortest witness is ababab.
+        b.rule(
+            "s",
+            "t",
+            "a(x_old) & a(y_old) & a(z_old) & x_old < y_old & y_old < z_old \
+             & x_old = x_new & y_old = y_new & z_old = z_new",
+        )
+        .unwrap();
+        let system = b.finish().unwrap();
+        assert!(bounded_emptiness(&class, &system, 4).is_none());
+        assert!(bounded_emptiness(&class, &system, 6).is_some());
+    }
+}
+
+/// Property-style cross-validation between the symbolic engine and this
+/// baseline lives in the workspace-level integration tests
+/// (`tests/cross_validation.rs`), where both crates are available.
+#[cfg(test)]
+mod cross_checks {
+    use super::*;
+    use crate::nfa::Nfa;
+    use dds_core::{Engine, SymbolicClass};
+    use dds_system::SystemBuilder;
+
+    /// Random-ish small NFAs and guards: engine result must match the
+    /// baseline whenever the baseline finds a witness, and the baseline must
+    /// find nothing when the engine says empty (up to the bound).
+    #[test]
+    fn engine_agrees_with_baseline_on_small_cases() {
+        // A few hand-rolled NFAs.
+        let nfas = vec![
+            // (ab)+
+            Nfa::new(
+                vec!["a".into(), "b".into()],
+                vec![0, 1],
+                vec![(0, 1), (1, 0)],
+                vec![0],
+                vec![1],
+            )
+            .unwrap(),
+            // a+b? : a-loop then optional b
+            Nfa::new(
+                vec!["a".into(), "b".into()],
+                vec![0, 1],
+                vec![(0, 0), (0, 1)],
+                vec![0],
+                vec![0, 1],
+            )
+            .unwrap(),
+            // (a|b)+ with both letters in one SCC
+            Nfa::new(
+                vec!["a".into(), "b".into()],
+                vec![0, 1],
+                vec![(0, 0), (0, 1), (1, 0), (1, 1)],
+                vec![0, 1],
+                vec![0, 1],
+            )
+            .unwrap(),
+        ];
+        let guards = [
+            "x_old < x_new & a(x_old)",
+            "x_old = x_new & b(x_old)",
+            "x_new < x_old & a(x_old) & a(x_new)",
+            "a(x_old) & b(x_old)", // unsatisfiable at one position
+        ];
+        for nfa in nfas {
+            let class = WordClass::new(nfa);
+            for g in guards {
+                let schema = class.schema().clone();
+                let mut b = SystemBuilder::new(schema, &["x"]);
+                b.state("s").initial();
+                b.state("t").accepting();
+                b.rule("s", "t", g).unwrap();
+                let system = b.finish().unwrap();
+                let engine_says = Engine::new(&class, &system).run().is_nonempty();
+                let baseline_says = bounded_emptiness(&class, &system, 8).is_some();
+                assert_eq!(
+                    engine_says, baseline_says,
+                    "disagreement on guard `{g}`"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! Small configurations for the word case, and their membership test.
+//!
+//! ## The normal form (derivation)
+//!
+//! Work inside `Rundb(w)` for an accepting run on `w`, with the paper's
+//! pointer functions `leftmost_Γ` / `rightmost_Γ` per component `Γ`. For a
+//! pointer-closed subset `S` and a component `Γ` occurring in `w`, let `g` /
+//! `h` be the globally first/last `Γ`-positions. For any `x ∈ S`,
+//! `rightmost_Γ(x) = h` whenever `h ≥ x` and `leftmost_Γ(x) = g` whenever
+//! `g ≤ x`; a short case analysis (`g ∉ S ⇒ g` after `max S`, `h ∉ S ⇒ h`
+//! before `min S`, but `g ≤ h`) shows **both `g` and `h` belong to `S`** for
+//! every component occurring in `w`. Applied to the components of the word's
+//! first and last positions this puts those positions in `S` too.
+//!
+//! Consequently the pointer functions of `S` are *determined* by its state
+//! sequence: `leftmost_Γ` points at the first occurrence of `Γ` in `S` (and
+//! that occurrence is the global `g`), symmetrically for `rightmost_Γ`. A
+//! configuration is therefore just a sorted state sequence plus the register
+//! positions ([`WordConfig`]) — no explicit pointer data needed.
+//!
+//! ## Membership
+//!
+//! `S` (as an abstract sequence) embeds pointer-faithfully into some run iff
+//!
+//! 1. its first state can follow an initial state, its last is accepting
+//!    (those positions *are* the word's endpoints);
+//! 2. every position is a register value or the first/last occurrence of its
+//!    own component (pointer-closure);
+//! 3. consecutive positions are joined by an automaton path whose
+//!    intermediate states belong to components *spanning* the gap (first
+//!    occurrence at or before it, last at or after it) — anything else would
+//!    introduce new global first/last positions, contradicting the frozen
+//!    pointers. (Word order makes all states of a nonempty realizable gap
+//!    fall into one SCC together with the gap's endpoints.)
+//!
+//! These conditions are validated against brute force by the
+//! `closed_subsets_of_runs_are_valid` tests below and the cross-validation
+//! suite.
+
+use crate::nfa::{Nfa, NfaStateId};
+
+/// A small configuration: state sequence (left to right) plus the register
+/// positions. Canonical by construction — positions are totally ordered, so
+/// there is no renaming freedom.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct WordConfig {
+    /// States of the configuration's positions, in word order.
+    pub states: Vec<NfaStateId>,
+    /// `points[i]` = index into `states` holding register `i`'s value.
+    pub points: Vec<u32>,
+}
+
+impl std::fmt::Debug for WordConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "WordConfig({:?} @ {:?})", self.states, self.points)
+    }
+}
+
+/// First and last occurrence (position indices) of each component present in
+/// a state sequence. Indexed by component id; absent components are `None`.
+pub fn component_span(nfa: &Nfa, states: &[NfaStateId]) -> Vec<Option<(usize, usize)>> {
+    let mut span: Vec<Option<(usize, usize)>> = vec![None; nfa.num_components()];
+    for (i, &q) in states.iter().enumerate() {
+        let c = nfa.component(q);
+        match &mut span[c] {
+            Some((_, last)) => *last = i,
+            None => span[c] = Some((i, i)),
+        }
+    }
+    span
+}
+
+/// Is state `s` allowed strictly inside the gap between positions `a` and
+/// `a+1`? (Its component must span the gap.)
+pub fn allowed_in_gap(
+    nfa: &Nfa,
+    span: &[Option<(usize, usize)>],
+    a: usize,
+    s: NfaStateId,
+) -> bool {
+    match span[nfa.component(s)] {
+        Some((first, last)) => first <= a && last >= a + 1,
+        None => false,
+    }
+}
+
+impl WordConfig {
+    /// Number of positions.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// True when there are no positions (never valid).
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Membership in the class `C` (see module docs): does some accepting
+    /// run realize this configuration with exactly these pointers?
+    pub fn is_valid(&self, nfa: &Nfa) -> bool {
+        let m = self.states.len();
+        if m == 0 {
+            return false;
+        }
+        if self.points.iter().any(|&p| p as usize >= m) {
+            return false;
+        }
+        // (1) endpoints are the word's endpoints.
+        if !nfa.is_entry(self.states[0]) || !nfa.is_accepting(self.states[m - 1]) {
+            return false;
+        }
+        let span = component_span(nfa, &self.states);
+        // (2) pointer-closure: every position is a point or a first/last
+        // occurrence of its own component.
+        for (i, &q) in self.states.iter().enumerate() {
+            let (first, last) = span[nfa.component(q)].expect("own component present");
+            if first != i && last != i && !self.points.contains(&(i as u32)) {
+                return false;
+            }
+        }
+        // (3) gap realizability.
+        for a in 0..m - 1 {
+            let ok = nfa.reach_avoiding(self.states[a], self.states[a + 1], &|s| {
+                allowed_in_gap(nfa, &span, a, s)
+            });
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Expands the configuration into a complete state sequence of an
+    /// accepting run (filling each gap with a shortest allowed path).
+    /// Returns the full sequence and, for each configuration position, its
+    /// index in the expansion. `None` only for invalid configurations.
+    pub fn expand(&self, nfa: &Nfa) -> Option<(Vec<NfaStateId>, Vec<usize>)> {
+        let m = self.states.len();
+        if m == 0 {
+            return None;
+        }
+        let span = component_span(nfa, &self.states);
+        let mut full = vec![self.states[0]];
+        let mut index = vec![0usize];
+        for a in 0..m - 1 {
+            let mids = nfa.path_avoiding(self.states[a], self.states[a + 1], &|s| {
+                allowed_in_gap(nfa, &span, a, s)
+            })?;
+            full.extend(mids);
+            full.push(self.states[a + 1]);
+            index.push(full.len() - 1);
+        }
+        Some((full, index))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Language `(ab)+`: two states in one SCC.
+    fn ab_plus() -> Nfa {
+        Nfa::new(
+            vec!["a".into(), "b".into()],
+            vec![0, 1],
+            vec![(0, 1), (1, 0)],
+            vec![0],
+            vec![1],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn minimal_valid_config() {
+        let nfa = ab_plus();
+        let (a, b) = (NfaStateId(0), NfaStateId(1));
+        // "ab" with one register on the first position.
+        let cfg = WordConfig {
+            states: vec![a, b],
+            points: vec![0],
+        };
+        assert!(cfg.is_valid(&nfa));
+        // Not accepting at the end.
+        let bad = WordConfig {
+            states: vec![a, b, a],
+            points: vec![0, 1, 2],
+        };
+        assert!(!bad.is_valid(&nfa));
+        // Lone `a` cannot be a whole word of (ab)+.
+        let lone = WordConfig {
+            states: vec![a],
+            points: vec![0],
+        };
+        assert!(!lone.is_valid(&nfa));
+    }
+
+    #[test]
+    fn closure_condition_enforced() {
+        let nfa = ab_plus();
+        let (a, b) = (NfaStateId(0), NfaStateId(1));
+        // a b a b: positions 0 (first of SCC) and 3 (last) are markers;
+        // positions 1, 2 must be register values.
+        let ok = WordConfig {
+            states: vec![a, b, a, b],
+            points: vec![1, 2],
+        };
+        assert!(ok.is_valid(&nfa));
+        let uncovered = WordConfig {
+            states: vec![a, b, a, b],
+            points: vec![1, 1],
+        };
+        assert!(!uncovered.is_valid(&nfa), "position 2 unjustified");
+    }
+
+    #[test]
+    fn gap_realizability_checked() {
+        let nfa = ab_plus();
+        let (a, b) = (NfaStateId(0), NfaStateId(1));
+        // a..b with a gap: path a ->+ b through the SCC exists (e.g. a b a b).
+        let cfg = WordConfig {
+            states: vec![a, b],
+            points: vec![0, 1],
+        };
+        assert!(cfg.is_valid(&nfa));
+        // a followed by a: needs a path a ->+ a with intermediates in the
+        // spanning component; a -> b -> a works, both in the SCC.
+        let cfg2 = WordConfig {
+            states: vec![a, a, b],
+            points: vec![1, 1],
+        };
+        assert!(cfg2.is_valid(&nfa));
+        let (full, idx) = cfg2.expand(&nfa).unwrap();
+        assert!(nfa.accepts_state_sequence(&full));
+        assert_eq!(idx.len(), 3);
+        assert_eq!(full[idx[1]], a);
+    }
+
+    #[test]
+    fn expansion_produces_accepting_runs() {
+        let nfa = ab_plus();
+        let (a, b) = (NfaStateId(0), NfaStateId(1));
+        for cfg in [
+            WordConfig {
+                states: vec![a, b],
+                points: vec![0],
+            },
+            WordConfig {
+                states: vec![a, b, a, b],
+                points: vec![1, 2],
+            },
+        ] {
+            assert!(cfg.is_valid(&nfa));
+            let (full, idx) = cfg.expand(&nfa).unwrap();
+            assert!(nfa.accepts_state_sequence(&full));
+            for (i, &w) in idx.iter().enumerate() {
+                assert_eq!(full[w], cfg.states[i]);
+            }
+        }
+    }
+
+    /// Brute-force soundness of `is_valid`: every pointer-closed subset of a
+    /// real run database must pass, with points put on all non-marker
+    /// positions.
+    #[test]
+    fn closed_subsets_of_runs_are_valid() {
+        let nfa = ab_plus();
+        let (a, b) = (NfaStateId(0), NfaStateId(1));
+        let word = [a, b, a, b, a, b];
+        assert!(nfa.accepts_state_sequence(&word));
+        // Enumerate all subsets; keep the pointer-closed ones.
+        for mask in 1u32..(1 << word.len()) {
+            let subset: Vec<usize> =
+                (0..word.len()).filter(|i| mask & (1 << i) != 0).collect();
+            // Closure: first/last occurrence (globally) of each component
+            // present... here one component, so positions 0 and 5 must be in.
+            let closed = subset.contains(&0) && subset.contains(&5);
+            if !closed {
+                continue;
+            }
+            let states: Vec<NfaStateId> = subset.iter().map(|&i| word[i]).collect();
+            // Non-marker positions (not global-first/last of the component)
+            // must be covered by points.
+            let points: Vec<u32> = subset
+                .iter()
+                .enumerate()
+                .filter(|(_, &w)| w != 0 && w != 5)
+                .map(|(i, _)| i as u32)
+                .collect();
+            let cfg = WordConfig { states, points };
+            assert!(cfg.is_valid(&nfa), "closed subset rejected: {cfg:?}");
+        }
+    }
+}

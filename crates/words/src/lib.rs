@@ -1,0 +1,41 @@
+//! # dds-words
+//!
+//! Theorem 10: emptiness of database-driven systems over **regular word
+//! languages** is PSpace-complete.
+//!
+//! A word `w` over alphabet `A` is the database `Worddb(w)`: positions with
+//! unary letter predicates and the order `<` (§5.1). The class
+//! `Worddb(L)` for a regular `L` is *semi-Fraïssé*: after enriching runs
+//! with, per strongly-connected component `Γ` of the (normalized) automaton,
+//! the pointer functions `leftmost_Γ` / `rightmost_Γ`, the substructure
+//! closure `C` of run databases is closed under amalgamation
+//! (Proposition 2), and the blowup is `≤ 2|Q|·n` — hence PSpace.
+//!
+//! ## Derived normal form
+//!
+//! This implementation rests on a structural analysis of pointer-closed
+//! substructures (proved in [`config`]'s docs and exercised by the
+//! cross-validation tests):
+//!
+//! 1. a closed substructure contains, for every component occurring in the
+//!    word, the globally first and last position of that component — in
+//!    particular the word's first and last position;
+//! 2. consequently the pointer functions are **determined** by the state
+//!    sequence, and a configuration is just a sorted state sequence plus the
+//!    register→position map ([`WordConfig`]);
+//! 3. sub-transitions insert at most `k` fresh positions, each strictly
+//!    between its component's first and last occurrence (anything else would
+//!    contradict a frozen pointer), mirroring the paper's one-position-at-a-
+//!    time amalgamation proof of Proposition 2.
+//!
+//! The [`WordClass`] plugs into the `dds-core` engine and concretizes
+//! witnesses into actual words of `L` with certified runs.
+
+pub mod baseline;
+pub mod class;
+pub mod config;
+pub mod nfa;
+
+pub use class::WordClass;
+pub use config::WordConfig;
+pub use nfa::{Nfa, NfaStateId};

@@ -1,0 +1,461 @@
+//! NFAs in the paper's normalized form (§5.1).
+//!
+//! The paper assumes, w.l.o.g., that each automaton state reads a unique
+//! letter (split states per letter otherwise) and that there are no useless
+//! states (every state lies on some accepting run). A *pre-run* labels every
+//! word position with the state reached **after** reading it, so runs are
+//! described by: an `entry` set (possible states after the first letter),
+//! a one-step relation between consecutive positions, and accepting states
+//! for the last position.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// State of a normalized NFA (index).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NfaStateId(pub u32);
+
+impl NfaStateId {
+    /// Index into the automaton's state list.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NfaStateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A normalized NFA: states read unique letters; useless states trimmed.
+#[derive(Clone, Debug)]
+pub struct Nfa {
+    letters: Vec<String>,
+    /// Letter read by each state.
+    state_letter: Vec<usize>,
+    /// `edges[p]` = states that may follow `p`.
+    edges: Vec<Vec<NfaStateId>>,
+    /// States allowed at the first position.
+    entry: Vec<NfaStateId>,
+    /// States allowed at the last position.
+    accepting: Vec<NfaStateId>,
+    /// Strongly-connected component of each state (the paper's
+    /// "components"; singletons when not self-reachable).
+    component: Vec<usize>,
+    /// Number of components.
+    num_components: usize,
+}
+
+impl Nfa {
+    /// Builds a normalized NFA directly. `state_letter[q]` names the letter
+    /// read when entering state `q`; useless states (not on any accepting
+    /// run) are trimmed away, renumbering states.
+    ///
+    /// Returns `None` when the language of nonempty words is empty.
+    pub fn new(
+        letters: Vec<String>,
+        state_letter: Vec<usize>,
+        edges: Vec<(u32, u32)>,
+        entry: Vec<u32>,
+        accepting: Vec<u32>,
+    ) -> Option<Nfa> {
+        let n = state_letter.len();
+        assert!(state_letter.iter().all(|&l| l < letters.len()));
+        let mut fwd: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut bwd: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &(p, q) in &edges {
+            fwd[p as usize].push(q as usize);
+            bwd[q as usize].push(p as usize);
+        }
+        // Useful = reachable from entry ∧ co-reachable to accepting.
+        let reach = |starts: &[u32], adj: &Vec<Vec<usize>>| -> Vec<bool> {
+            let mut seen = vec![false; n];
+            let mut stack: Vec<usize> = starts.iter().map(|&s| s as usize).collect();
+            for &s in starts {
+                seen[s as usize] = true;
+            }
+            while let Some(x) = stack.pop() {
+                for &y in &adj[x] {
+                    if !seen[y] {
+                        seen[y] = true;
+                        stack.push(y);
+                    }
+                }
+            }
+            seen
+        };
+        let fwd_seen = reach(&entry, &fwd);
+        let bwd_seen = reach(&accepting, &bwd);
+        let useful: Vec<bool> = (0..n).map(|i| fwd_seen[i] && bwd_seen[i]).collect();
+        let renumber: Vec<Option<u32>> = {
+            let mut next = 0u32;
+            useful
+                .iter()
+                .map(|&u| {
+                    if u {
+                        let id = next;
+                        next += 1;
+                        Some(id)
+                    } else {
+                        None
+                    }
+                })
+                .collect()
+        };
+        let m = renumber.iter().flatten().count();
+        if m == 0 {
+            return None;
+        }
+        let mut out_edges: Vec<Vec<NfaStateId>> = vec![Vec::new(); m];
+        for &(p, q) in &edges {
+            if let (Some(a), Some(b)) = (renumber[p as usize], renumber[q as usize]) {
+                if !out_edges[a as usize].contains(&NfaStateId(b)) {
+                    out_edges[a as usize].push(NfaStateId(b));
+                }
+            }
+        }
+        let map_set = |xs: &[u32]| -> Vec<NfaStateId> {
+            let s: BTreeSet<u32> = xs
+                .iter()
+                .filter_map(|&x| renumber[x as usize])
+                .collect();
+            s.into_iter().map(NfaStateId).collect()
+        };
+        let entry = map_set(&entry);
+        let accepting = map_set(&accepting);
+        if entry.is_empty() || accepting.is_empty() {
+            return None;
+        }
+        let state_letter: Vec<usize> = (0..n)
+            .filter(|&i| useful[i])
+            .map(|i| state_letter[i])
+            .collect();
+        let mut nfa = Nfa {
+            letters,
+            state_letter,
+            edges: out_edges,
+            entry,
+            accepting,
+            component: Vec::new(),
+            num_components: 0,
+        };
+        nfa.compute_components();
+        Some(nfa)
+    }
+
+    /// Normalizes a standard NFA `(Q, Σ, δ, I, F)` by splitting each state
+    /// per incoming letter, then trims.
+    pub fn from_standard(
+        letters: Vec<String>,
+        num_states: usize,
+        transitions: &[(u32, usize, u32)], // (p, letter, q)
+        initial: &[u32],
+        accepting: &[u32],
+    ) -> Option<Nfa> {
+        // Normalized states = (q, a) pairs that have an incoming a-transition
+        // into q.
+        let mut pairs: Vec<(u32, usize)> = Vec::new();
+        let pair_id = |pairs: &mut Vec<(u32, usize)>, q: u32, a: usize| -> u32 {
+            if let Some(i) = pairs.iter().position(|&(x, b)| x == q && b == a) {
+                i as u32
+            } else {
+                pairs.push((q, a));
+                (pairs.len() - 1) as u32
+            }
+        };
+        let mut entry = Vec::new();
+        let mut edges = Vec::new();
+        for &(p, a, q) in transitions {
+            let id_q = pair_id(&mut pairs, q, a);
+            if initial.contains(&p) {
+                entry.push(id_q);
+            }
+            for &(p2, a2, q2) in transitions {
+                if p2 == q {
+                    let id_q2 = pair_id(&mut pairs, q2, a2);
+                    edges.push((id_q, id_q2));
+                }
+            }
+        }
+        let _ = num_states;
+        let state_letter: Vec<usize> = pairs.iter().map(|&(_, a)| a).collect();
+        let acc: Vec<u32> = pairs
+            .iter()
+            .enumerate()
+            .filter(|(_, &(q, _))| accepting.contains(&q))
+            .map(|(i, _)| i as u32)
+            .collect();
+        Nfa::new(letters, state_letter, edges, entry, acc)
+    }
+
+    /// Number of states (after trimming).
+    pub fn num_states(&self) -> usize {
+        self.state_letter.len()
+    }
+
+    /// All states.
+    pub fn states(&self) -> impl Iterator<Item = NfaStateId> {
+        (0..self.num_states() as u32).map(NfaStateId)
+    }
+
+    /// Letter names.
+    pub fn letters(&self) -> &[String] {
+        &self.letters
+    }
+
+    /// Letter read by a state.
+    pub fn letter(&self, q: NfaStateId) -> usize {
+        self.state_letter[q.index()]
+    }
+
+    /// One-step successors.
+    pub fn successors(&self, q: NfaStateId) -> &[NfaStateId] {
+        &self.edges[q.index()]
+    }
+
+    /// Whether `q` may label the first position.
+    pub fn is_entry(&self, q: NfaStateId) -> bool {
+        self.entry.contains(&q)
+    }
+
+    /// Whether `q` may label the last position.
+    pub fn is_accepting(&self, q: NfaStateId) -> bool {
+        self.accepting.contains(&q)
+    }
+
+    /// The component (SCC) of a state.
+    pub fn component(&self, q: NfaStateId) -> usize {
+        self.component[q.index()]
+    }
+
+    /// Number of components (the paper's `Γ`s).
+    pub fn num_components(&self) -> usize {
+        self.num_components
+    }
+
+    /// Kosaraju SCCs, numbered in topological order of first DFS finish
+    /// (the numbering itself is irrelevant, only the partition matters).
+    fn compute_components(&mut self) {
+        let n = self.num_states();
+        let mut order = Vec::with_capacity(n);
+        let mut seen = vec![false; n];
+        for s in 0..n {
+            if !seen[s] {
+                // Iterative post-order DFS.
+                let mut stack = vec![(s, 0usize)];
+                seen[s] = true;
+                while let Some(&mut (x, ref mut i)) = stack.last_mut() {
+                    if *i < self.edges[x].len() {
+                        let y = self.edges[x][*i].index();
+                        *i += 1;
+                        if !seen[y] {
+                            seen[y] = true;
+                            stack.push((y, 0));
+                        }
+                    } else {
+                        order.push(x);
+                        stack.pop();
+                    }
+                }
+            }
+        }
+        let mut bwd: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for p in 0..n {
+            for q in &self.edges[p] {
+                bwd[q.index()].push(p);
+            }
+        }
+        let mut comp = vec![usize::MAX; n];
+        let mut num = 0;
+        for &s in order.iter().rev() {
+            if comp[s] == usize::MAX {
+                let mut stack = vec![s];
+                comp[s] = num;
+                while let Some(x) = stack.pop() {
+                    for &y in &bwd[x] {
+                        if comp[y] == usize::MAX {
+                            comp[y] = num;
+                            stack.push(y);
+                        }
+                    }
+                }
+                num += 1;
+            }
+        }
+        self.component = comp;
+        self.num_components = num;
+    }
+
+    /// Is `to` reachable from `from` in one or more steps, with all strictly
+    /// intermediate states satisfying `allowed`? (The endpoints need not.)
+    pub fn reach_avoiding(
+        &self,
+        from: NfaStateId,
+        to: NfaStateId,
+        allowed: &dyn Fn(NfaStateId) -> bool,
+    ) -> bool {
+        self.path_avoiding(from, to, allowed).is_some()
+    }
+
+    /// As [`Nfa::reach_avoiding`], returning the strictly intermediate
+    /// states of a shortest such path.
+    pub fn path_avoiding(
+        &self,
+        from: NfaStateId,
+        to: NfaStateId,
+        allowed: &dyn Fn(NfaStateId) -> bool,
+    ) -> Option<Vec<NfaStateId>> {
+        // BFS over allowed intermediates.
+        if self.successors(from).contains(&to) {
+            return Some(Vec::new());
+        }
+        let n = self.num_states();
+        let mut parent: Vec<Option<NfaStateId>> = vec![None; n];
+        let mut queue: Vec<NfaStateId> = Vec::new();
+        for &s in self.successors(from) {
+            if allowed(s) && parent[s.index()].is_none() {
+                parent[s.index()] = Some(from);
+                queue.push(s);
+            }
+        }
+        let mut head = 0;
+        while head < queue.len() {
+            let x = queue[head];
+            head += 1;
+            for &y in self.successors(x) {
+                if y == to {
+                    // Reconstruct intermediates x .. back to from.
+                    let mut path = vec![x];
+                    let mut cur = x;
+                    while let Some(p) = parent[cur.index()] {
+                        if p == from {
+                            break;
+                        }
+                        path.push(p);
+                        cur = p;
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                if allowed(y) && parent[y.index()].is_none() {
+                    parent[y.index()] = Some(x);
+                    queue.push(y);
+                }
+            }
+        }
+        None
+    }
+
+    /// Does the automaton accept the state sequence as a complete pre-run
+    /// (entry start, one-step consecutive, accepting end)?
+    pub fn accepts_state_sequence(&self, seq: &[NfaStateId]) -> bool {
+        !seq.is_empty()
+            && self.is_entry(seq[0])
+            && self.is_accepting(*seq.last().expect("nonempty"))
+            && seq.windows(2).all(|w| self.successors(w[0]).contains(&w[1]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `(ab)+` as a normalized NFA: state A reads 'a', state B reads 'b'.
+    pub fn ab_plus() -> Nfa {
+        Nfa::new(
+            vec!["a".into(), "b".into()],
+            vec![0, 1],
+            vec![(0, 1), (1, 0)],
+            vec![0],
+            vec![1],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn builds_and_classifies_components() {
+        let nfa = ab_plus();
+        assert_eq!(nfa.num_states(), 2);
+        // a <-> b is one SCC.
+        assert_eq!(nfa.num_components(), 1);
+        assert!(nfa.is_entry(NfaStateId(0)));
+        assert!(nfa.is_accepting(NfaStateId(1)));
+        assert!(nfa.accepts_state_sequence(&[NfaStateId(0), NfaStateId(1)]));
+        assert!(!nfa.accepts_state_sequence(&[NfaStateId(0)]));
+        assert!(!nfa.accepts_state_sequence(&[NfaStateId(1), NfaStateId(0)]));
+    }
+
+    #[test]
+    fn trims_useless_states() {
+        // State 2 unreachable; state 3 cannot reach accepting.
+        let nfa = Nfa::new(
+            vec!["a".into()],
+            vec![0, 0, 0, 0],
+            vec![(0, 1), (2, 1), (0, 3)],
+            vec![0],
+            vec![1],
+        )
+        .unwrap();
+        assert_eq!(nfa.num_states(), 2);
+        // Both remaining states are singleton components.
+        assert_eq!(nfa.num_components(), 2);
+    }
+
+    #[test]
+    fn empty_language_detected() {
+        assert!(Nfa::new(
+            vec!["a".into()],
+            vec![0, 0],
+            vec![],
+            vec![0],
+            vec![1]
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn from_standard_splits_states() {
+        // Standard NFA: q0 -a-> q0, q0 -b-> q1(accept): language a*b.
+        let nfa = Nfa::from_standard(
+            vec!["a".into(), "b".into()],
+            2,
+            &[(0, 0, 0), (0, 1, 1)],
+            &[0],
+            &[1],
+        )
+        .unwrap();
+        // Normalized: (q0,a) and (q1,b).
+        assert_eq!(nfa.num_states(), 2);
+        let a_state = nfa.states().find(|&q| nfa.letter(q) == 0).unwrap();
+        let b_state = nfa.states().find(|&q| nfa.letter(q) == 1).unwrap();
+        assert!(nfa.is_entry(a_state));
+        assert!(nfa.is_entry(b_state)); // "b" alone is in a*b
+        assert!(nfa.is_accepting(b_state));
+        assert!(!nfa.is_accepting(a_state));
+        assert!(nfa.accepts_state_sequence(&[a_state, a_state, b_state]));
+        assert!(!nfa.accepts_state_sequence(&[a_state, b_state, a_state]));
+    }
+
+    #[test]
+    fn path_avoiding_respects_filter() {
+        // Chain 0 -> 1 -> 2 and shortcut 0 -> 3 -> 2.
+        let nfa = Nfa::new(
+            vec!["a".into()],
+            vec![0, 0, 0, 0],
+            vec![(0, 1), (1, 2), (0, 3), (3, 2)],
+            vec![0],
+            vec![2],
+        )
+        .unwrap();
+        let (s0, s2) = (NfaStateId(0), NfaStateId(2));
+        let p = nfa.path_avoiding(s0, s2, &|_| true).unwrap();
+        assert_eq!(p.len(), 1); // one intermediate (1 or 3)
+        let only3 = nfa.path_avoiding(s0, s2, &|q| q == NfaStateId(3)).unwrap();
+        assert_eq!(only3, vec![NfaStateId(3)]);
+        assert!(nfa
+            .path_avoiding(s0, s2, &|q| q == NfaStateId(9))
+            .is_none());
+    }
+}

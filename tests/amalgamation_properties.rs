@@ -1,0 +1,163 @@
+//! Property tests for the Fraïssé-class invariants the engine's correctness
+//! rests on (§4.1): amalgams stay in the class, extend the base in place,
+//! and sub-transition successors are themselves valid configurations.
+
+use dds::core::{AmalgamClass, Pointed};
+use dds::prelude::*;
+use proptest::prelude::*;
+
+/// Builds an arbitrary equivalence-class configuration from a block string.
+fn equiv_pointed(class: &EquivalenceClass, blocks: &[usize], points: &[usize]) -> Pointed {
+    Pointed::new(
+        class.from_blocks(blocks),
+        points.iter().map(|&p| Element::from_index(p)).collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Equivalence relations: every amalgam of a member is a member and
+    /// freezes the base ~-facts.
+    #[test]
+    fn equivalence_amalgams_are_members(
+        raw_blocks in proptest::collection::vec(0usize..3, 1..4),
+        point in 0usize..3,
+    ) {
+        let class = EquivalenceClass::new();
+        // Normalize the block string (restricted growth).
+        let mut map = std::collections::HashMap::new();
+        let mut next = 0usize;
+        let blocks: Vec<usize> = raw_blocks.iter().map(|&b| {
+            *map.entry(b).or_insert_with(|| { let v = next; next += 1; v })
+        }).collect();
+        let point = point % blocks.len();
+        let base = equiv_pointed(&class, &blocks, &[point]);
+        for cand in class.amalgams(&base, &[]) {
+            prop_assert!(class.is_member(&cand.structure));
+            // Base frozen: old blocks unchanged.
+            let old = class.blocks_of(&base.structure);
+            let new = class.blocks_of(&cand.structure);
+            for i in 0..old.len() {
+                for j in 0..old.len() {
+                    prop_assert_eq!(old[i] == old[j], new[i] == new[j]);
+                }
+            }
+        }
+    }
+
+    /// Linear orders: amalgams are total strict orders preserving the base.
+    #[test]
+    fn linear_order_amalgams_are_members(m in 1usize..4, point in 0usize..4) {
+        let class = LinearOrderClass::new();
+        let base = class
+            .initial_pointed(1)
+            .into_iter()
+            .find(|p| p.structure.size() == m.min(1))
+            .unwrap();
+        let _ = point;
+        for cand in class.amalgams(&base, &[]) {
+            prop_assert!(class.is_member(&cand.structure));
+        }
+    }
+
+    /// Free class: the generated successor configuration of any amalgam is
+    /// point-generated (the engine's canonicalization precondition).
+    #[test]
+    fn free_amalgam_successors_are_generated(bits in 0u8..16) {
+        let mut s = Schema::new();
+        let e = s.add_relation("E", 2).unwrap();
+        let schema = s.finish();
+        let mut g = Structure::new(schema.clone(), 2);
+        if bits & 1 != 0 { g.add_fact(e, &[Element(0), Element(1)]).unwrap(); }
+        if bits & 2 != 0 { g.add_fact(e, &[Element(1), Element(0)]).unwrap(); }
+        if bits & 4 != 0 { g.add_fact(e, &[Element(0), Element(0)]).unwrap(); }
+        if bits & 8 != 0 { g.add_fact(e, &[Element(1), Element(1)]).unwrap(); }
+        let class = FreeRelationalClass::new(schema);
+        let base = Pointed::new(g, vec![Element(0), Element(1)]);
+        for cand in class.amalgams(&base, &[]).into_iter().take(64) {
+            let small = cand.generated();
+            // Every element of the generated part is a point value.
+            for el in small.structure.elements() {
+                prop_assert!(small.points.contains(&el));
+            }
+        }
+    }
+}
+
+/// Word class: every transition successor is a valid configuration, and the
+/// expansion of any valid configuration is an accepting automaton run.
+#[test]
+fn word_transitions_produce_valid_configs() {
+    let nfa = Nfa::new(
+        vec!["a".into(), "b".into()],
+        vec![0, 1],
+        vec![(0, 1), (1, 0), (1, 1)],
+        vec![0],
+        vec![1],
+    )
+    .unwrap();
+    let class = WordClass::new(nfa);
+    let guard = dds::logic::parse_formula(
+        "x_old < x_new",
+        class.schema(),
+        |n| match n {
+            "x_old" => Some(dds::logic::Var(0)),
+            "x_new" => Some(dds::logic::Var(1)),
+            _ => None,
+        },
+        2,
+    )
+    .unwrap();
+    let mut frontier = class.initial_configs(1);
+    for _round in 0..2 {
+        let mut next = Vec::new();
+        for cfg in frontier.iter().take(25) {
+            assert!(cfg.is_valid(class.nfa()), "invalid in frontier: {cfg:?}");
+            let (full, _) = cfg.expand(class.nfa()).expect("valid expands");
+            assert!(class.nfa().accepts_state_sequence(&full));
+            for succ in class.transitions(cfg, &guard) {
+                assert!(succ.is_valid(class.nfa()), "invalid successor: {succ:?}");
+                next.push(succ);
+            }
+        }
+        frontier = next;
+    }
+}
+
+/// Tree class: successors of valid patterns are valid, and materialized
+/// patterns are well-formed structures (total cca, consistent orders).
+#[test]
+fn tree_transitions_produce_valid_patterns() {
+    let aut = TreeAutomaton::new(
+        vec!["r".into(), "a".into(), "b".into()],
+        vec![0, 1, 2],
+        vec![2],
+        vec![0],
+        vec![0, 1, 2],
+        vec![(1, 0), (2, 0), (1, 1), (2, 1)],
+        vec![(2, 1)],
+    );
+    let class = TreeClass::new(aut);
+    let guard = dds::logic::parse_formula(
+        "x_old <= x_new",
+        class.schema(),
+        |n| match n {
+            "x_old" => Some(dds::logic::Var(0)),
+            "x_new" => Some(dds::logic::Var(1)),
+            _ => None,
+        },
+        2,
+    )
+    .unwrap();
+    for cfg in class.initial_configs(1).iter().take(20) {
+        let mat = class.materialize(cfg);
+        mat.structure.validate().expect("total functions");
+        for succ in class.transitions(cfg, &guard).iter().take(20) {
+            assert!(succ.is_valid(class.automaton()), "invalid: {succ:?}");
+            // Successors are generated by their points.
+            let seeds: Vec<usize> = succ.points.iter().map(|&p| p as usize).collect();
+            assert_eq!(succ.closure(class.automaton(), &seeds).len(), succ.len());
+        }
+    }
+}
