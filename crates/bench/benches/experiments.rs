@@ -292,11 +292,8 @@ fn e10_vs_baseline(c: &mut Criterion) {
                         &system,
                         max,
                         |db| {
-                            dds_structure::morphism::find_homomorphism(
-                                db,
-                                class.template(),
-                            )
-                            .is_some()
+                            dds_structure::morphism::find_homomorphism(db, class.template())
+                                .is_some()
                         },
                         &mut stats,
                     )

@@ -25,8 +25,12 @@ pub fn example1(schema: Arc<Schema>) -> System {
     b.state("q0");
     b.state("q1");
     b.state("end").accepting();
-    b.rule("start", "q0", "x_old = x_new & x_new = y_old & y_old = y_new")
-        .unwrap();
+    b.rule(
+        "start",
+        "q0",
+        "x_old = x_new & x_new = y_old & y_old = y_new",
+    )
+    .unwrap();
     b.rule("q0", "q1", "x_old = x_new & E(y_old, y_new) & red(y_new)")
         .unwrap();
     b.rule("q1", "q0", "x_old = x_new & E(y_old, y_new) & red(y_new)")

@@ -129,7 +129,9 @@ impl<C: AmalgamClass> DataClass<C> {
 
     /// The data relation symbol, in the *public* schema.
     pub fn data_symbol(&self) -> SymbolId {
-        self.public.lookup(&self.spec.symbol).expect("added at construction")
+        self.public
+            .lookup(&self.spec.symbol)
+            .expect("added at construction")
     }
 
     /// Reads the data classes of a member structure's elements: for
@@ -165,10 +167,9 @@ impl<C: AmalgamClass> DataClass<C> {
                     let mut classes = 0usize;
                     let mut seen: Vec<Element> = Vec::new();
                     for &d in &below {
-                        if !seen
-                            .iter()
-                            .any(|&x| !s.holds(self.data_sym, &[x, d]) && !s.holds(self.data_sym, &[d, x]))
-                        {
+                        if !seen.iter().any(|&x| {
+                            !s.holds(self.data_sym, &[x, d]) && !s.holds(self.data_sym, &[d, x])
+                        }) {
                             classes += 1;
                             seen.push(d);
                         }
@@ -301,8 +302,10 @@ fn rank_extensions(old: &[usize], extra: usize, injective: bool) -> Vec<Vec<usiz
             }
         }
         for gap in 0..=ranks {
-            let mut next: Vec<usize> =
-                cur.iter().map(|&x| if x >= gap { x + 1 } else { x }).collect();
+            let mut next: Vec<usize> = cur
+                .iter()
+                .map(|&x| if x >= gap { x + 1 } else { x })
+                .collect();
             next.push(gap);
             go(&next, extra - 1, injective, set);
         }
@@ -405,7 +408,8 @@ mod tests {
         // k=2: base had 18; each 2-element base config gets 2 data partitions,
         // single-element ones 1.
         let configs = class.initial_configs(2);
-        assert_eq!(configs.len(), 2 * 1 + 16 * 2);
+        // 2 single-element configs × 1 partition + 16 two-element × 2.
+        assert_eq!(configs.len(), 2 + 16 * 2);
     }
 
     #[test]
@@ -428,10 +432,8 @@ mod tests {
         for cfg in class.initial_configs(2) {
             let ranks = class.data_classes(&cfg.pointed.structure);
             // Rebuilding from the ranks reproduces the same data facts.
-            let inner_part = project_structure(
-                &cfg.pointed.structure,
-                class.inner().internal_schema(),
-            );
+            let inner_part =
+                project_structure(&cfg.pointed.structure, class.inner().internal_schema());
             let rebuilt = class.with_data(&inner_part, &ranks);
             assert_eq!(rebuilt, cfg.pointed.structure);
         }

@@ -117,6 +117,16 @@ pub struct Engine<'a, C: SymbolicClass> {
     options: EngineOptions,
 }
 
+impl<C: SymbolicClass> std::fmt::Debug for Engine<'_, C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("original", self.original)
+            .field("compiled", &self.compiled)
+            .field("options", &self.options)
+            .finish_non_exhaustive()
+    }
+}
+
 struct Node<Cfg> {
     state: StateId,
     config: Cfg,
@@ -135,8 +145,8 @@ impl<'a, C: SymbolicClass> Engine<'a, C> {
             class.schema(),
             "system and class must share a schema"
         );
-        let compiled = eliminate_existentials(system)
-            .expect("guards must be existential formulas (Fact 2)");
+        let compiled =
+            eliminate_existentials(system).expect("guards must be existential formulas (Fact 2)");
         Engine {
             class,
             original: system,
@@ -281,8 +291,12 @@ mod tests {
         b.state("q0");
         b.state("q1");
         b.state("end").accepting();
-        b.rule("start", "q0", "x_old = x_new & x_new = y_old & y_old = y_new")
-            .unwrap();
+        b.rule(
+            "start",
+            "q0",
+            "x_old = x_new & x_new = y_old & y_old = y_new",
+        )
+        .unwrap();
         b.rule("q0", "q1", "x_old = x_new & E(y_old, y_new) & red(y_new)")
             .unwrap();
         b.rule("q1", "q0", "x_old = x_new & E(y_old, y_new) & red(y_new)")
@@ -357,9 +371,7 @@ mod tests {
         let (db, run) = outcome.witness().expect("hom class concretizes");
         system.check_run(db, run, true).unwrap();
         // The σ-projection maps homomorphically to the template.
-        assert!(
-            dds_structure::morphism::find_homomorphism(db, class.template()).is_some()
-        );
+        assert!(dds_structure::morphism::find_homomorphism(db, class.template()).is_some());
     }
 
     #[test]
@@ -384,10 +396,18 @@ mod tests {
         // Two hops to a red node, one existential witness per step: the
         // compiled system has 2 registers (cost grows as 2^(2k)^arity, so
         // tests keep k small; see `existential_two_witnesses` for k=3).
-        b.rule("s", "m", "x_new = x_new & (exists u . E(x_old, u) & u = x_new)")
-            .unwrap();
-        b.rule("m", "t", "x_old = x_new & (exists u . E(x_old, u) & red(u))")
-            .unwrap();
+        b.rule(
+            "s",
+            "m",
+            "x_new = x_new & (exists u . E(x_old, u) & u = x_new)",
+        )
+        .unwrap();
+        b.rule(
+            "m",
+            "t",
+            "x_old = x_new & (exists u . E(x_old, u) & red(u))",
+        )
+        .unwrap();
         let system = b.finish().unwrap();
         let class = FreeRelationalClass::new(schema);
         let outcome = Engine::new(&class, &system).run();
@@ -411,8 +431,12 @@ mod tests {
         let mut b = SystemBuilder::new(schema.clone(), &["x"]);
         b.state("s").initial();
         b.state("t").accepting();
-        b.rule("s", "t", "x_old = x_new & (exists u v . E(x_old, u) & E(u, v) & red(v))")
-            .unwrap();
+        b.rule(
+            "s",
+            "t",
+            "x_old = x_new & (exists u v . E(x_old, u) & E(u, v) & red(v))",
+        )
+        .unwrap();
         let system = b.finish().unwrap();
         let class = FreeRelationalClass::new(schema);
         let outcome = Engine::new(&class, &system).run();

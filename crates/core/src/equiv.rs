@@ -42,11 +42,8 @@ impl EquivalenceClass {
         for (i, bi) in blocks.iter().enumerate() {
             for (j, bj) in blocks.iter().enumerate() {
                 if bi == bj {
-                    s.add_fact(
-                        self.sim,
-                        &[Element::from_index(i), Element::from_index(j)],
-                    )
-                    .unwrap();
+                    s.add_fact(self.sim, &[Element::from_index(i), Element::from_index(j)])
+                        .unwrap();
                 }
             }
         }
@@ -108,28 +105,22 @@ pub fn block_extensions(old_blocks: &[usize], extra: usize) -> Vec<Vec<usize>> {
     let base_count = old_blocks.iter().copied().max().map_or(0, |m| m + 1);
     let mut out = Vec::new();
     let mut cur = old_blocks.to_vec();
-    fn go(
-        extra: usize,
-        next_new: usize,
-        base_count: usize,
-        cur: &mut Vec<usize>,
-        out: &mut Vec<Vec<usize>>,
-    ) {
+    fn go(extra: usize, next_new: usize, cur: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
         if extra == 0 {
             out.push(cur.clone());
             return;
         }
         for b in 0..next_new {
             cur.push(b);
-            go(extra - 1, next_new.max(b + 1), base_count, cur, out);
+            go(extra - 1, next_new.max(b + 1), cur, out);
             cur.pop();
         }
         // A fresh block.
         cur.push(next_new);
-        go(extra - 1, next_new + 1, base_count, cur, out);
+        go(extra - 1, next_new + 1, cur, out);
         cur.pop();
     }
-    go(extra, base_count, base_count, &mut cur, &mut out);
+    go(extra, base_count, &mut cur, &mut out);
     out
 }
 

@@ -133,7 +133,7 @@ mod tests {
         // One register; guard: E(x_old, x_new) & x_old != x_new.
         let guard = Formula::and(vec![
             Formula::rel_vars(e, &[old_var(0), new_var(0)]),
-            Formula::not(Formula::var_eq(old_var(0), new_var(0))),
+            Formula::negate(Formula::var_eq(old_var(0), new_var(0))),
         ]);
         // Start from the single-element loop-free config.
         let start = class

@@ -151,8 +151,7 @@ impl AmalgamClass for HomClass {
                 }
                 let mut optional = Vec::new();
                 for &r in &sigma {
-                    for t in dds_structure::structure::tuples_over(&elems, self.internal.arity(r))
-                    {
+                    for t in dds_structure::structure::tuples_over(&elems, self.internal.arity(r)) {
                         if self.tuple_compatible(r, &t, &colors) {
                             optional.push((r, t));
                         }

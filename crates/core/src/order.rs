@@ -201,11 +201,7 @@ mod tests {
         // linear orders via amalgamation (no bound on the chain length).
         let class = LinearOrderClass::new();
         let guard = Formula::rel_vars(class.lt(), &[old_var(0), new_var(0)]);
-        let mut cfg = class
-            .initial_configs(1)
-            .into_iter()
-            .next()
-            .unwrap();
+        let mut cfg = class.initial_configs(1).into_iter().next().unwrap();
         for _ in 0..5 {
             let succs = class.transitions(&cfg, &guard);
             assert!(!succs.is_empty());

@@ -44,7 +44,10 @@ impl fmt::Display for LogicError {
             } => write!(f, "`{symbol}` expects {expected} arguments, got {got}"),
             LogicError::Kind(name) => write!(f, "`{name}` used with the wrong symbol kind"),
             LogicError::NotExistential => {
-                write!(f, "existential quantifier under negation: not an existential formula")
+                write!(
+                    f,
+                    "existential quantifier under negation: not an existential formula"
+                )
             }
             LogicError::UnboundVariable(v) => write!(f, "unbound variable v{v}"),
         }
@@ -59,7 +62,11 @@ mod tests {
 
     #[test]
     fn errors_render() {
-        assert!(LogicError::NotExistential.to_string().contains("existential"));
-        assert!(LogicError::Unresolved("zz".into()).to_string().contains("zz"));
+        assert!(LogicError::NotExistential
+            .to_string()
+            .contains("existential"));
+        assert!(LogicError::Unresolved("zz".into())
+            .to_string()
+            .contains("zz"));
     }
 }

@@ -12,11 +12,7 @@ use crate::term::Term;
 use dds_structure::{Element, Structure};
 
 /// Evaluates a term under a partial environment (indexed by variable).
-pub fn eval_term(
-    t: &Term,
-    s: &Structure,
-    env: &[Option<Element>],
-) -> Result<Element, LogicError> {
+pub fn eval_term(t: &Term, s: &Structure, env: &[Option<Element>]) -> Result<Element, LogicError> {
     match t {
         Term::Var(v) => env
             .get(v.index())
@@ -127,7 +123,7 @@ mod tests {
 
         let f = Formula::and(vec![
             Formula::rel_vars(e, &[Var(0), Var(1)]),
-            Formula::not(Formula::var_eq(Var(0), Var(1))),
+            Formula::negate(Formula::var_eq(Var(0), Var(1))),
         ]);
         assert!(eval(&f, &g, &[Element(0), Element(1)]).unwrap());
         assert!(!eval(&f, &g, &[Element(1), Element(0)]).unwrap());

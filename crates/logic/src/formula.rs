@@ -73,7 +73,7 @@ impl Formula {
     }
 
     /// Negation, collapsing double negations and constants.
-    pub fn not(f: Formula) -> Formula {
+    pub fn negate(f: Formula) -> Formula {
         match f {
             Formula::True => Formula::False,
             Formula::False => Formula::True,
@@ -203,9 +203,7 @@ impl Formula {
             Formula::True => Formula::True,
             Formula::False => Formula::False,
             Formula::Eq(a, b) => Formula::Eq(a.map_vars(f), b.map_vars(f)),
-            Formula::Rel(r, args) => {
-                Formula::Rel(*r, args.iter().map(|a| a.map_vars(f)).collect())
-            }
+            Formula::Rel(r, args) => Formula::Rel(*r, args.iter().map(|a| a.map_vars(f)).collect()),
             Formula::Not(inner) => Formula::Not(Box::new(inner.map_vars(f))),
             Formula::And(fs) => Formula::And(fs.iter().map(|x| x.map_vars(f)).collect()),
             Formula::Or(fs) => Formula::Or(fs.iter().map(|x| x.map_vars(f)).collect()),
@@ -287,26 +285,26 @@ mod tests {
             Formula::and(vec![Formula::True, Formula::False]),
             Formula::False
         );
-        assert_eq!(Formula::not(Formula::not(Formula::True)), Formula::True);
+        assert_eq!(
+            Formula::negate(Formula::negate(Formula::True)),
+            Formula::True
+        );
         let a = Formula::var_eq(Var(0), Var(1));
         assert_eq!(Formula::and(vec![a.clone()]), a);
         // Nested conjunctions flatten.
-        let nested = Formula::and(vec![
-            Formula::and(vec![a.clone(), a.clone()]),
-            a.clone(),
-        ]);
+        let nested = Formula::and(vec![Formula::and(vec![a.clone(), a.clone()]), a.clone()]);
         assert_eq!(nested.size(), 4);
     }
 
     #[test]
     fn fragments_classified() {
-        let qf = Formula::not(Formula::var_eq(Var(0), Var(1)));
+        let qf = Formula::negate(Formula::var_eq(Var(0), Var(1)));
         assert!(qf.is_quantifier_free());
         assert!(qf.is_existential());
         let ex = Formula::Exists(vec![Var(5)], Box::new(Formula::var_eq(Var(5), Var(0))));
         assert!(!ex.is_quantifier_free());
         assert!(ex.is_existential());
-        let bad = Formula::not(ex.clone());
+        let bad = Formula::negate(ex.clone());
         assert!(!bad.is_existential());
         // And of existentials is existential.
         assert!(Formula::and(vec![ex.clone(), qf]).is_existential());

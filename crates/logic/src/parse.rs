@@ -194,7 +194,7 @@ impl<'a, R: Fn(&str) -> Option<Var>> Parser<'a, R> {
         match self.peek() {
             Some(Tok::Not) => {
                 self.bump();
-                Ok(Formula::not(self.unary()?))
+                Ok(Formula::negate(self.unary()?))
             }
             Some(Tok::Ident(name)) if name == "exists" => {
                 self.bump();
@@ -271,7 +271,7 @@ impl<'a, R: Fn(&str) -> Option<Var>> Parser<'a, R> {
         let lhs = self.term()?;
         match self.bump() {
             Some(Tok::Eq) => Ok(Formula::Eq(lhs, self.term()?)),
-            Some(Tok::Neq) => Ok(Formula::not(Formula::Eq(lhs, self.term()?))),
+            Some(Tok::Neq) => Ok(Formula::negate(Formula::Eq(lhs, self.term()?))),
             Some(Tok::Infix(op)) => {
                 let rel = self
                     .lookup_relation(&op)
@@ -342,8 +342,8 @@ impl<'a, R: Fn(&str) -> Option<Var>> Parser<'a, R> {
             return Ok(Term::Var(v));
         }
         match self.schema.lookup(&name) {
-            Ok(id) if self.schema.kind(id) == SymbolKind::Function
-                && self.schema.arity(id) == 0 =>
+            Ok(id)
+                if self.schema.kind(id) == SymbolKind::Function && self.schema.arity(id) == 0 =>
             {
                 Ok(Term::App(id, Vec::new()))
             }
@@ -478,13 +478,7 @@ mod tests {
     fn precedence_or_and_not() {
         let schema = graph_schema();
         // !a & b | c  ==  ((!a) & b) | c
-        let f = parse_formula(
-            "!red(x_old) & red(x_new) | red(y_old)",
-            &schema,
-            vars,
-            8,
-        )
-        .unwrap();
+        let f = parse_formula("!red(x_old) & red(x_new) | red(y_old)", &schema, vars, 8).unwrap();
         match f {
             Formula::Or(parts) => {
                 assert_eq!(parts.len(), 2);

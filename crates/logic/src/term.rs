@@ -111,7 +111,10 @@ mod tests {
     fn collect_and_map_vars() {
         let t = Term::app(
             SymbolId(0),
-            vec![Term::var(Var(1)), Term::app(SymbolId(1), vec![Term::var(Var(3))])],
+            vec![
+                Term::var(Var(1)),
+                Term::app(SymbolId(1), vec![Term::var(Var(3))]),
+            ],
         );
         let mut vars = Vec::new();
         t.collect_vars(&mut vars);

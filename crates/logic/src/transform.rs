@@ -67,10 +67,7 @@ pub fn atoms(f: &Formula) -> Vec<Formula> {
 /// Correctness: `∃` commutes with `∧` and `∨` once bound names are fresh
 /// (they never capture), and the input is rejected if a quantifier occurs
 /// under a negation.
-pub fn prenex_existential(
-    f: &Formula,
-    fresh_base: u32,
-) -> Result<(Vec<Var>, Formula), LogicError> {
+pub fn prenex_existential(f: &Formula, fresh_base: u32) -> Result<(Vec<Var>, Formula), LogicError> {
     if !f.is_existential() {
         return Err(LogicError::NotExistential);
     }
@@ -127,7 +124,7 @@ mod tests {
 
     #[test]
     fn nnf_pushes_negations() {
-        let f = Formula::not(Formula::and(vec![atom(0, 1), Formula::not(atom(1, 2))]));
+        let f = Formula::negate(Formula::and(vec![atom(0, 1), Formula::negate(atom(1, 2))]));
         let g = nnf(&f).unwrap();
         // !(a & !b) == !a | b
         match g {
@@ -139,7 +136,7 @@ mod tests {
             other => panic!("unexpected: {other:?}"),
         }
         // Negated existential rejected.
-        let bad = Formula::not(Formula::Exists(vec![Var(9)], Box::new(atom(9, 0))));
+        let bad = Formula::negate(Formula::Exists(vec![Var(9)], Box::new(atom(9, 0))));
         assert_eq!(nnf(&bad), Err(LogicError::NotExistential));
     }
 
@@ -147,7 +144,7 @@ mod tests {
     fn atoms_deduplicate() {
         let f = Formula::and(vec![
             atom(0, 1),
-            Formula::not(atom(0, 1)),
+            Formula::negate(atom(0, 1)),
             Formula::Rel(SymbolId(0), vec![Term::var(Var(2))]),
         ]);
         let a = atoms(&f);
@@ -175,7 +172,7 @@ mod tests {
 
     #[test]
     fn prenex_identity_on_qf() {
-        let f = Formula::and(vec![atom(0, 1), Formula::not(atom(2, 3))]);
+        let f = Formula::and(vec![atom(0, 1), Formula::negate(atom(2, 3))]);
         let (block, matrix) = prenex_existential(&f, 10).unwrap();
         assert!(block.is_empty());
         assert_eq!(matrix, f);
@@ -183,7 +180,10 @@ mod tests {
 
     #[test]
     fn prenex_rejects_negated_quantifier() {
-        let bad = Formula::not(Formula::Exists(vec![Var(9)], Box::new(atom(9, 0))));
-        assert_eq!(prenex_existential(&bad, 10), Err(LogicError::NotExistential));
+        let bad = Formula::negate(Formula::Exists(vec![Var(9)], Box::new(atom(9, 0))));
+        assert_eq!(
+            prenex_existential(&bad, 10),
+            Err(LogicError::NotExistential)
+        );
     }
 }

@@ -118,7 +118,7 @@ pub fn lemma1_system(tm: &LinearTm, n: usize) -> System {
         if one {
             eq
         } else {
-            Formula::not(eq)
+            Formula::negate(eq)
         }
     };
     let write = |i: usize, one: bool| {
@@ -126,7 +126,7 @@ pub fn lemma1_system(tm: &LinearTm, n: usize) -> System {
         if one {
             eq
         } else {
-            Formula::not(eq)
+            Formula::negate(eq)
         }
     };
 
@@ -167,7 +167,7 @@ pub fn lemma1_system(tm: &LinearTm, n: usize) -> System {
     let init = StateId((tm.states * n) as u32);
     let mut zero_parts = vec![];
     for i in 1..=n {
-        zero_parts.push(Formula::not(Formula::var_eq(new_var(i), new_var(0))));
+        zero_parts.push(Formula::negate(Formula::var_eq(new_var(i), new_var(0))));
     }
     rules.push(Rule {
         from: init,
@@ -183,7 +183,9 @@ pub fn lemma1_system(tm: &LinearTm, n: usize) -> System {
     System::from_parts(
         schema,
         state_names,
-        (0..k).map(|i| if i == 0 { "y".into() } else { format!("x{i}") }).collect(),
+        (0..k)
+            .map(|i| if i == 0 { "y".into() } else { format!("x{i}") })
+            .collect(),
         vec![init],
         accepting,
         rules,

@@ -78,8 +78,12 @@ pub fn binary_tree(n: usize) -> Structure {
                 x = (x - 1) / 2;
                 y = (y - 1) / 2;
             }
-            s.set_func(cca, &[Element::from_index(a), Element::from_index(b)], Element::from_index(x))
-                .unwrap();
+            s.set_func(
+                cca,
+                &[Element::from_index(a), Element::from_index(b)],
+                Element::from_index(x),
+            )
+            .unwrap();
         }
     }
     s
@@ -145,7 +149,7 @@ pub fn fact16_system(m: &CounterMachine) -> System {
                     guard: Formula::and(vec![
                         keep(0),
                         keep(if c == 0 { 2 } else { 1 }),
-                        Formula::not(Formula::var_eq(old_var(c + 1), old_var(0))),
+                        Formula::negate(Formula::var_eq(old_var(c + 1), old_var(0))),
                         parent_step(c + 1, 3),
                     ]),
                 });
@@ -230,7 +234,8 @@ pub fn chunk_tree(n: usize) -> Structure {
     let mut s = Structure::new(schema, size);
     s.add_fact(r, &[Element(0)]).unwrap();
     for e in 0..size {
-        s.add_fact(le, &[Element(0), Element::from_index(e)]).unwrap();
+        s.add_fact(le, &[Element(0), Element::from_index(e)])
+            .unwrap();
         s.add_fact(sim, &[Element::from_index(e), Element::from_index(e)])
             .unwrap();
     }
@@ -238,9 +243,12 @@ pub fn chunk_tree(n: usize) -> Structure {
         let (ai, bi) = (1 + 2 * i, 2 + 2 * i);
         s.add_fact(a, &[Element::from_index(ai)]).unwrap();
         s.add_fact(b, &[Element::from_index(bi)]).unwrap();
-        s.add_fact(le, &[Element::from_index(ai), Element::from_index(ai)]).unwrap();
-        s.add_fact(le, &[Element::from_index(bi), Element::from_index(bi)]).unwrap();
-        s.add_fact(le, &[Element::from_index(ai), Element::from_index(bi)]).unwrap();
+        s.add_fact(le, &[Element::from_index(ai), Element::from_index(ai)])
+            .unwrap();
+        s.add_fact(le, &[Element::from_index(bi), Element::from_index(bi)])
+            .unwrap();
+        s.add_fact(le, &[Element::from_index(ai), Element::from_index(bi)])
+            .unwrap();
         // data: b_i ~ a_{i+1}
         if i + 1 < n {
             let anext = 1 + 2 * (i + 1);
@@ -285,14 +293,14 @@ pub fn theorem17_system(m: &CounterMachine) -> System {
         chunk(old_var(0), old_var(1), 100),
         chunk(new_var(0), new_var(1), 102),
         Formula::rel_vars(sim, &[old_var(1), new_var(0)]),
-        Formula::not(Formula::var_eq(old_var(0), new_var(0))),
+        Formula::negate(Formula::var_eq(old_var(0), new_var(0))),
     ]);
     // Decrement: swap roles.
     let dec = Formula::and(vec![
         chunk(old_var(0), old_var(1), 100),
         chunk(new_var(0), new_var(1), 102),
         Formula::rel_vars(sim, &[new_var(1), old_var(0)]),
-        Formula::not(Formula::var_eq(old_var(0), new_var(0))),
+        Formula::negate(Formula::var_eq(old_var(0), new_var(0))),
     ]);
     // Zero test: x equals the anchored first chunk (registers 2, 3).
     let keep = |i: usize| Formula::var_eq(old_var(i), new_var(i));
@@ -309,7 +317,11 @@ pub fn theorem17_system(m: &CounterMachine) -> System {
                 to: StateId(next as u32),
                 guard: Formula::and(vec![inc.clone(), frame_anchor.clone()]),
             }),
-            Instr::JzDec { c: _, if_zero, if_pos } => {
+            Instr::JzDec {
+                c: _,
+                if_zero,
+                if_pos,
+            } => {
                 rules.push(Rule {
                     from,
                     to: StateId(if_zero as u32),
@@ -324,7 +336,7 @@ pub fn theorem17_system(m: &CounterMachine) -> System {
                     guard: Formula::and(vec![
                         dec.clone(),
                         frame_anchor.clone(),
-                        Formula::not(Formula::var_eq(old_var(0), old_var(2))),
+                        Formula::negate(Formula::var_eq(old_var(0), old_var(2))),
                     ]),
                 });
             }
@@ -364,10 +376,7 @@ pub fn theorem17_system(m: &CounterMachine) -> System {
 /// Bounded emptiness over chunk trees with `1..=max_chunks` chunks. This
 /// simulates only one counter (enough to demonstrate the mechanism; the
 /// paper uses three counter pairs for full two-counter machines).
-pub fn theorem17_bounded_check(
-    m: &CounterMachine,
-    max_chunks: usize,
-) -> Option<(Structure, Run)> {
+pub fn theorem17_bounded_check(m: &CounterMachine, max_chunks: usize) -> Option<(Structure, Run)> {
     let system = theorem17_system(m);
     for n in 1..=max_chunks {
         let db = chunk_tree(n);

@@ -42,14 +42,7 @@ pub fn fact15_system(m: &CounterMachine) -> System {
     let schema = succ_schema();
     let succ = schema.lookup("succ").unwrap();
     let keep = |i: usize| Formula::var_eq(old_var(i), new_var(i));
-    let keep_all_but = |i: usize| {
-        Formula::and(
-            (0..3)
-                .filter(|&j| j != i)
-                .map(keep)
-                .collect(),
-        )
-    };
+    let keep_all_but = |i: usize| Formula::and((0..3).filter(|&j| j != i).map(keep).collect());
     let mut rules = Vec::new();
     for (loc, instr) in m.program.iter().enumerate() {
         let from = StateId(loc as u32);
@@ -78,7 +71,7 @@ pub fn fact15_system(m: &CounterMachine) -> System {
                     to: StateId(if_pos as u32),
                     guard: Formula::and(vec![
                         keep_all_but(c + 1),
-                        Formula::not(Formula::var_eq(old_var(c + 1), old_var(0))),
+                        Formula::negate(Formula::var_eq(old_var(c + 1), old_var(0))),
                         Formula::rel_vars(succ, &[new_var(c + 1), old_var(c + 1)]),
                     ]),
                 });

@@ -17,6 +17,7 @@ use std::sync::Arc;
 /// relation with `t` possible tuples contributes a `t`-bit counter. The
 /// total count is `2^(Σ t_r)`, so callers must keep `size` small — exactly
 /// what the baselines do.
+#[derive(Debug)]
 pub struct StructureIter {
     schema: Arc<Schema>,
     size: usize,
@@ -56,7 +57,6 @@ impl StructureIter {
     pub fn total(&self) -> f64 {
         2f64.powi(self.slots.len() as i32)
     }
-
 }
 
 impl Iterator for StructureIter {
@@ -121,7 +121,11 @@ pub fn for_each_structure(
 /// enumeration; caller keeps `items` short.
 pub fn subsets<T: Clone>(items: &[T]) -> Vec<Vec<T>> {
     let mut out = Vec::with_capacity(1 << items.len());
-    assert!(items.len() < 30, "subsets: too many items ({})", items.len());
+    assert!(
+        items.len() < 30,
+        "subsets: too many items ({})",
+        items.len()
+    );
     for mask in 0u64..(1u64 << items.len()) {
         let mut v = Vec::new();
         for (i, item) in items.iter().enumerate() {

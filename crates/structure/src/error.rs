@@ -63,7 +63,10 @@ impl fmt::Display for StructureError {
                 "symbol `{symbol}` has arity {expected} but a tuple of length {got} was supplied"
             ),
             StructureError::KindMismatch { symbol } => {
-                write!(f, "symbol `{symbol}` used with the wrong kind (relation vs function)")
+                write!(
+                    f,
+                    "symbol `{symbol}` used with the wrong kind (relation vs function)"
+                )
             }
             StructureError::ElementOutOfRange { element, size } => {
                 write!(f, "element e{element} outside domain of size {size}")
@@ -93,6 +96,8 @@ mod tests {
             got: 3,
         };
         assert!(e.to_string().contains("arity 2"));
-        assert!(StructureError::SchemaMismatch.to_string().contains("schemas"));
+        assert!(StructureError::SchemaMismatch
+            .to_string()
+            .contains("schemas"));
     }
 }

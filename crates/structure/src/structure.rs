@@ -293,18 +293,17 @@ impl Structure {
         for f in self.schema.functions() {
             let arity = self.schema.arity(f);
             for args in tuples_over(&sorted, arity) {
-                let v = self.try_apply(f, &args).ok_or_else(|| {
-                    StructureError::PartialFunction {
-                        symbol: self.schema.name(f).to_owned(),
-                    }
-                })?;
+                let v =
+                    self.try_apply(f, &args)
+                        .ok_or_else(|| StructureError::PartialFunction {
+                            symbol: self.schema.name(f).to_owned(),
+                        })?;
                 let new_v = *old_to_new
                     .get(&v)
                     .ok_or_else(|| StructureError::NotClosed {
                         symbol: self.schema.name(f).to_owned(),
                     })?;
-                let new_args: Vec<Element> =
-                    args.iter().map(|a| old_to_new[a]).collect();
+                let new_args: Vec<Element> = args.iter().map(|a| old_to_new[a]).collect();
                 sub.funcs[f.index()].insert(new_args, new_v);
             }
         }
@@ -356,7 +355,11 @@ impl Structure {
 
     /// Applies a bijective renaming of elements: `perm[old.index()] = new`.
     pub fn map_elements(&self, perm: &[Element]) -> Structure {
-        assert_eq!(perm.len(), self.size, "map_elements: wrong permutation size");
+        assert_eq!(
+            perm.len(),
+            self.size,
+            "map_elements: wrong permutation size"
+        );
         let mut seen = vec![false; self.size];
         for &p in perm {
             assert!(
@@ -526,7 +529,10 @@ mod tests {
         a.set_func(f, &[Element(1)], Element(2)).unwrap();
         a.set_func(f, &[Element(2)], Element(2)).unwrap();
         a.set_func(f, &[Element(3)], Element(3)).unwrap();
-        assert_eq!(a.closure(&[Element(0)]), vec![Element(0), Element(1), Element(2)]);
+        assert_eq!(
+            a.closure(&[Element(0)]),
+            vec![Element(0), Element(1), Element(2)]
+        );
         assert_eq!(a.closure(&[Element(3)]), vec![Element(3)]);
         assert_eq!(a.closure(&[]), Vec::<Element>::new());
     }

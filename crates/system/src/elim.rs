@@ -36,9 +36,8 @@ pub fn eliminate_existentials(system: &System) -> Result<System, SystemError> {
     let mut max_block = 0usize;
     for rule in system.rules() {
         let fresh_base = rule.guard.max_var().map_or(2 * k as u32, |v| v.0 + 1);
-        let (block, matrix) =
-            prenex_existential(&rule.guard, fresh_base.max(2 * k as u32))
-                .map_err(|e| SystemError::Guard(e.to_string()))?;
+        let (block, matrix) = prenex_existential(&rule.guard, fresh_base.max(2 * k as u32))
+            .map_err(|e| SystemError::Guard(e.to_string()))?;
         max_block = max_block.max(block.len());
         blocks.push((block, matrix));
     }
@@ -61,16 +60,19 @@ pub fn eliminate_existentials(system: &System) -> Result<System, SystemError> {
         });
     }
 
-    let mut register_names: Vec<String> = (0..k)
-        .map(|i| system.register_name(i).to_owned())
-        .collect();
+    let mut register_names: Vec<String> =
+        (0..k).map(|i| system.register_name(i).to_owned()).collect();
     for j in 0..max_block {
         register_names.push(format!("__w{j}"));
     }
     System::from_parts(
         system.schema().clone(),
         (0..system.num_states())
-            .map(|i| system.state_name(crate::system::StateId(i as u32)).to_owned())
+            .map(|i| {
+                system
+                    .state_name(crate::system::StateId(i as u32))
+                    .to_owned()
+            })
             .collect(),
         register_names,
         system.initial().to_vec(),
@@ -100,9 +102,14 @@ mod tests {
         b.state("m");
         b.state("t").accepting();
         // Two rules with different quantifier counts exercise register reuse.
-        b.rule("s", "m", "exists z . E(x_old, z) & E(z, x_new)").unwrap();
-        b.rule("m", "t", "exists u v . E(x_old, u) & E(u, v) & red(v) & x_old = x_new")
+        b.rule("s", "m", "exists z . E(x_old, z) & E(z, x_new)")
             .unwrap();
+        b.rule(
+            "m",
+            "t",
+            "exists u v . E(x_old, u) & E(u, v) & red(v) & x_old = x_new",
+        )
+        .unwrap();
         b.finish().unwrap()
     }
 
@@ -181,7 +188,10 @@ mod tests {
             let original_size: usize = sys.rules()[0].guard.size();
             let qf = eliminate_existentials(&sys).unwrap();
             let compiled_size: usize = qf.rules()[0].guard.size();
-            assert!(compiled_size <= original_size, "{compiled_size} > {original_size}");
+            assert!(
+                compiled_size <= original_size,
+                "{compiled_size} > {original_size}"
+            );
             assert_eq!(qf.num_registers(), 1 + n);
         }
     }

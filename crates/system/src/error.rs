@@ -41,6 +41,8 @@ mod tests {
     #[test]
     fn errors_render() {
         assert!(SystemError::NoInitialState.to_string().contains("initial"));
-        assert!(SystemError::UnknownState("q9".into()).to_string().contains("q9"));
+        assert!(SystemError::UnknownState("q9".into())
+            .to_string()
+            .contains("q9"));
     }
 }

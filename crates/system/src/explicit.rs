@@ -111,8 +111,12 @@ mod tests {
         b.state("q0");
         b.state("q1");
         b.state("end").accepting();
-        b.rule("start", "q0", "x_old = x_new & x_new = y_old & y_old = y_new")
-            .unwrap();
+        b.rule(
+            "start",
+            "q0",
+            "x_old = x_new & x_new = y_old & y_old = y_new",
+        )
+        .unwrap();
         b.rule("q0", "q1", "x_old = x_new & E(y_old, y_new) & red(y_new)")
             .unwrap();
         b.rule("q1", "q0", "x_old = x_new & E(y_old, y_new) & red(y_new)")
@@ -153,14 +157,17 @@ mod tests {
         let mut even = Structure::new(schema.clone(), 4);
         for i in 0..4u32 {
             even.add_fact(red, &[Element(i)]).unwrap();
-            even.add_fact(e, &[Element(i), Element((i + 1) % 4)]).unwrap();
+            even.add_fact(e, &[Element(i), Element((i + 1) % 4)])
+                .unwrap();
         }
         // Schemas built separately are equal, so guards evaluate fine.
         assert!(!has_accepting_run(&sys, &even));
         // Odd cycle but white nodes: rejected.
         let mut white = Structure::new(schema, 3);
         for i in 0..3u32 {
-            white.add_fact(e, &[Element(i), Element((i + 1) % 3)]).unwrap();
+            white
+                .add_fact(e, &[Element(i), Element((i + 1) % 3)])
+                .unwrap();
         }
         assert!(!has_accepting_run(&sys, &white));
     }
@@ -183,8 +190,12 @@ mod tests {
         let mut b = SystemBuilder::new(schema.clone(), &["x"]);
         b.state("s").initial();
         b.state("t").accepting();
-        b.rule("s", "t", "x_old = x_new & (exists z . E(x_old, z) & red(z))")
-            .unwrap();
+        b.rule(
+            "s",
+            "t",
+            "x_old = x_new & (exists z . E(x_old, z) & red(z))",
+        )
+        .unwrap();
         let sys = b.finish().unwrap();
 
         let mut g = Structure::new(schema.clone(), 2);

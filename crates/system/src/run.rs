@@ -80,9 +80,8 @@ impl System {
         new: &[Element],
     ) -> bool {
         let combined = self.combined_valuation(old, new);
-        self.rules_from(from).any(|r| {
-            r.to == to && eval(&r.guard, db, &combined).unwrap_or(false)
-        })
+        self.rules_from(from)
+            .any(|r| r.to == to && eval(&r.guard, db, &combined).unwrap_or(false))
     }
 
     /// Validates a run against the semantics of §2: the first state is
@@ -106,7 +105,9 @@ impl System {
         }
         for (i, (q, v)) in run.states.iter().zip(&run.vals).enumerate() {
             if q.index() >= self.num_states() {
-                return Err(SystemError::InvalidRun(format!("step {i}: bad state {q:?}")));
+                return Err(SystemError::InvalidRun(format!(
+                    "step {i}: bad state {q:?}"
+                )));
             }
             if v.len() != k {
                 return Err(SystemError::InvalidRun(format!(

@@ -173,6 +173,7 @@ impl System {
 /// let system = b.finish().unwrap();
 /// assert_eq!(system.num_states(), 2);
 /// ```
+#[derive(Debug)]
 pub struct SystemBuilder {
     schema: Arc<Schema>,
     state_names: Vec<String>,
@@ -185,6 +186,7 @@ pub struct SystemBuilder {
 
 /// Handle returned by [`SystemBuilder::state`] to mark the state initial or
 /// accepting.
+#[derive(Debug)]
 pub struct StateHandle<'a> {
     builder: &'a mut SystemBuilder,
     id: StateId,
@@ -324,8 +326,12 @@ mod tests {
         b.state("q0");
         b.state("q1");
         b.state("end").accepting();
-        b.rule("start", "q0", "x_old = x_new & x_new = y_old & y_old = y_new")
-            .unwrap();
+        b.rule(
+            "start",
+            "q0",
+            "x_old = x_new & x_new = y_old & y_old = y_new",
+        )
+        .unwrap();
         b.rule("q0", "q1", "x_old = x_new & E(y_old, y_new) & red(y_new)")
             .unwrap();
         b.rule("q1", "q0", "x_old = x_new & E(y_old, y_new) & red(y_new)")

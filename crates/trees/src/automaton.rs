@@ -257,7 +257,7 @@ impl TreeAutomaton {
                 // p2 in Γ strictly after p1 on some chain of q.
                 let after = self.ns_strict_forward(p1);
                 let bwd = self.ns_backward_rightmost();
-                let from_fc = self.ns_forward_reach(q as u32);
+                let from_fc = self.ns_forward_reach(q);
                 for p2 in 0..n as u32 {
                     if self.comp_v[p2 as usize] == c
                         && self.ground[p2 as usize]
@@ -369,7 +369,9 @@ impl TreeAutomaton {
     /// (inclusive).
     fn ns_backward_rightmost(&self) -> Vec<bool> {
         let n = self.num_states();
-        let mut reach: Vec<bool> = (0..n).map(|x| self.rightmost[x] && self.ground[x]).collect();
+        let mut reach: Vec<bool> = (0..n)
+            .map(|x| self.rightmost[x] && self.ground[x])
+            .collect();
         loop {
             let mut changed = false;
             for x in 0..n {
@@ -542,11 +544,11 @@ pub(crate) mod fixtures {
         TreeAutomaton::new(
             vec!["r".into(), "a".into(), "b".into()],
             vec![0, 1, 2],
-            vec![2],          // leaf: B
-            vec![0],          // root: R
-            vec![0, 1, 2],    // rightmost: anything
+            vec![2],                              // leaf: B
+            vec![0],                              // root: R
+            vec![0, 1, 2],                        // rightmost: anything
             vec![(1, 0), (2, 0), (1, 1), (2, 1)], // fc: A|B under R, A|B under A
-            vec![],           // no siblings: unary trees
+            vec![],                               // no siblings: unary trees
         )
     }
 

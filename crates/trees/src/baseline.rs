@@ -26,7 +26,15 @@ pub fn for_each_accepted_run(
         }
         let mut t = Tree::leaf(aut.label(q));
         let mut states = vec![q];
-        if !grow(aut, &mut t, &mut states, 0, max_nodes, &mut count, &mut visit) {
+        if !grow(
+            aut,
+            &mut t,
+            &mut states,
+            0,
+            max_nodes,
+            &mut count,
+            &mut visit,
+        ) {
             break;
         }
     }
@@ -53,10 +61,8 @@ fn grow(
     // caller proceeds.
     let q = states[v];
     // Option 1: leaf.
-    if aut.is_leaf_state(q) {
-        if !emit_or_continue(aut, t, states, v, max_nodes, count, visit) {
-            return false;
-        }
+    if aut.is_leaf_state(q) && !emit_or_continue(aut, t, states, v, max_nodes, count, visit) {
+        return false;
     }
     // Option 2: children chains.
     let budget = max_nodes - t.len();
@@ -264,8 +270,12 @@ mod tests {
         b.state("s").initial();
         b.state("t").accepting();
         // Move to a strict descendant carrying label b.
-        b.rule("s", "t", "x_old <= x_new & x_old != x_new & b(x_new) & r(x_old)")
-            .unwrap();
+        b.rule(
+            "s",
+            "t",
+            "x_old <= x_new & x_old != x_new & b(x_new) & r(x_old)",
+        )
+        .unwrap();
         let system = b.finish().unwrap();
         let (db, run) = bounded_emptiness(&aut, &system, 4).expect("r b works");
         system.check_run(&db, &run, true).unwrap();

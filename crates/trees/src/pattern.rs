@@ -50,7 +50,9 @@ impl TreePattern {
 
     /// Pattern children of `v`, in document order.
     pub fn children(&self, v: usize) -> Vec<usize> {
-        (0..self.len()).filter(|&w| self.parent[w] == Some(v)).collect()
+        (0..self.len())
+            .filter(|&w| self.parent[w] == Some(v))
+            .collect()
     }
 
     /// Is `a` a pattern-ancestor of (or equal to) `b`?
@@ -107,9 +109,7 @@ impl TreePattern {
         }
         let mut best = v;
         for w in 0..self.len() {
-            if aut.comp(self.states[w]) == c
-                && self.is_ancestor(v, w)
-                && self.is_ancestor(best, w)
+            if aut.comp(self.states[w]) == c && self.is_ancestor(v, w) && self.is_ancestor(best, w)
             {
                 best = w;
             }
@@ -259,8 +259,11 @@ impl TreePattern {
         let doc = schema.lookup("<<").expect("tree schema");
         let cca = schema.lookup("cca").expect("tree schema");
         for v in 0..self.len() {
-            s.add_fact(label_syms[aut.label(self.states[v])], &[Element::from_index(v)])
-                .expect("valid");
+            s.add_fact(
+                label_syms[aut.label(self.states[v])],
+                &[Element::from_index(v)],
+            )
+            .expect("valid");
             for w in 0..self.len() {
                 if self.is_ancestor(v, w) {
                     s.add_fact(le, &[Element::from_index(v), Element::from_index(w)])

@@ -57,11 +57,8 @@ pub fn run_pointers(aut: &TreeAutomaton, t: &Tree, states: &[u32]) -> RunPointer
         }
         // Follow the (unique, by linearity) same-component child chain.
         let mut cur = v;
-        loop {
-            match t.children(cur).iter().find(|&&w| comp_of(w) == c) {
-                Some(&w) => cur = w,
-                None => break,
-            }
+        while let Some(&w) = t.children(cur).iter().find(|&&w| comp_of(w) == c) {
+            cur = w;
         }
         dmost[v] = cur;
     }
@@ -97,11 +94,7 @@ pub fn run_pointers(aut: &TreeAutomaton, t: &Tree, states: &[u32]) -> RunPointer
 
 /// Closes a seed set under `cca` and all pointer functions — the generated
 /// substructure of `Rundb(ρ)` (§4.1 applied to trees).
-pub fn pointer_closure(
-    t: &Tree,
-    ptr: &RunPointers,
-    seeds: &[usize],
-) -> BTreeSet<usize> {
+pub fn pointer_closure(t: &Tree, ptr: &RunPointers, seeds: &[usize]) -> BTreeSet<usize> {
     let mut set: BTreeSet<usize> = seeds.iter().copied().collect();
     loop {
         let mut add: BTreeSet<usize> = BTreeSet::new();

@@ -237,7 +237,10 @@ mod tests {
 
     #[test]
     fn treedb_encodes_relations() {
-        let labels: Vec<String> = ["r", "a", "b", "c", "d"].iter().map(|s| s.to_string()).collect();
+        let labels: Vec<String> = ["r", "a", "b", "c", "d"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let schema = tree_schema(&labels);
         let syms = label_symbols(&schema, &labels);
         let t = sample();
@@ -254,10 +257,7 @@ mod tests {
         // x <= y iff x = cca(x, y) — the paper's definability remark.
         for x in db.elements() {
             for y in db.elements() {
-                assert_eq!(
-                    db.holds(le, &[x, y]),
-                    db.apply(cca, &[x, y]) == x
-                );
+                assert_eq!(db.holds(le, &[x, y]), db.apply(cca, &[x, y]) == x);
             }
         }
     }

@@ -14,8 +14,11 @@ use dds_system::{Run, System};
 pub fn accepting_sequences(class: &WordClass, max_len: usize) -> Vec<Vec<NfaStateId>> {
     let nfa = class.nfa();
     let mut out = Vec::new();
-    let mut stack: Vec<Vec<NfaStateId>> =
-        nfa.states().filter(|&q| nfa.is_entry(q)).map(|q| vec![q]).collect();
+    let mut stack: Vec<Vec<NfaStateId>> = nfa
+        .states()
+        .filter(|&q| nfa.is_entry(q))
+        .map(|q| vec![q])
+        .collect();
     while let Some(seq) = stack.pop() {
         if nfa.is_accepting(*seq.last().expect("nonempty")) {
             out.push(seq.clone());
@@ -83,7 +86,8 @@ mod tests {
         let mut b = SystemBuilder::new(schema, &["x"]);
         b.state("s").initial();
         b.state("t").accepting();
-        b.rule("s", "t", "x_old < x_new & a(x_old) & b(x_new)").unwrap();
+        b.rule("s", "t", "x_old < x_new & a(x_old) & b(x_new)")
+            .unwrap();
         let system = b.finish().unwrap();
         let (db, run) = bounded_emptiness(&class, &system, 4).expect("ab works");
         system.check_run(&db, &run, true).unwrap();
@@ -173,10 +177,7 @@ mod cross_checks {
                 let system = b.finish().unwrap();
                 let engine_says = Engine::new(&class, &system).run().is_nonempty();
                 let baseline_says = bounded_emptiness(&class, &system, 8).is_some();
-                assert_eq!(
-                    engine_says, baseline_says,
-                    "disagreement on guard `{g}`"
-                );
+                assert_eq!(engine_says, baseline_says, "disagreement on guard `{g}`");
             }
         }
     }

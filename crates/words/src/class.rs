@@ -95,8 +95,11 @@ impl WordClass {
     pub fn worddb(&self, states: &[NfaStateId]) -> Structure {
         let mut s = Structure::new(self.schema.clone(), states.len());
         for (i, &q) in states.iter().enumerate() {
-            s.add_fact(self.letter_syms[self.nfa.letter(q)], &[Element::from_index(i)])
-                .expect("valid");
+            s.add_fact(
+                self.letter_syms[self.nfa.letter(q)],
+                &[Element::from_index(i)],
+            )
+            .expect("valid");
             for j in i + 1..states.len() {
                 s.add_fact(self.lt, &[Element::from_index(i), Element::from_index(j)])
                     .expect("valid");
@@ -124,7 +127,10 @@ impl WordClass {
         out: &mut Vec<WordConfig>,
         budget: &mut usize,
     ) {
-        assert!(*budget > 0, "initial-configuration enumeration budget exhausted");
+        assert!(
+            *budget > 0,
+            "initial-configuration enumeration budget exhausted"
+        );
         *budget -= 1;
         if !seq.is_empty() && self.nfa.is_accepting(*seq.last().expect("nonempty")) {
             self.finish_config(k, seq, out);
@@ -187,10 +193,9 @@ impl WordClass {
         }
         // Gap realizability (exact check).
         for a in 0..m - 1 {
-            if !self
-                .nfa
-                .reach_avoiding(seq[a], seq[a + 1], &|s| allowed_in_gap(&self.nfa, &span, a, s))
-            {
+            if !self.nfa.reach_avoiding(seq[a], seq[a + 1], &|s| {
+                allowed_in_gap(&self.nfa, &span, a, s)
+            }) {
                 return;
             }
         }
@@ -252,7 +257,18 @@ impl WordClass {
             // (a) an existing position (old or previously inserted fresh).
             for pos in 0..union.len() {
                 new_points.push(pos as u32);
-                choose(class, cfg, guard, reg + 1, k, union, prov, new_points, seen, results);
+                choose(
+                    class,
+                    cfg,
+                    guard,
+                    reg + 1,
+                    k,
+                    union,
+                    prov,
+                    new_points,
+                    seen,
+                    results,
+                );
                 new_points.pop();
             }
             // (b) a fresh position: any state of a present component,
@@ -271,7 +287,16 @@ impl WordClass {
                         }
                         new_points.push(slot as u32);
                         choose(
-                            class, cfg, guard, reg + 1, k, union, prov, new_points, seen, results,
+                            class,
+                            cfg,
+                            guard,
+                            reg + 1,
+                            k,
+                            union,
+                            prov,
+                            new_points,
+                            seen,
+                            results,
                         );
                         new_points.pop();
                         for p in new_points.iter_mut() {
@@ -573,7 +598,8 @@ mod tests {
         let mut b = SystemBuilder::new(schema, &["x"]);
         b.state("s").initial();
         b.state("t").accepting();
-        b.rule("s", "t", "x_old < x_new & a(x_old) & b(x_new)").unwrap();
+        b.rule("s", "t", "x_old < x_new & a(x_old) & b(x_new)")
+            .unwrap();
         let system = b.finish().unwrap();
         let outcome = Engine::new(&class, &system).run();
         assert!(outcome.is_nonempty());
@@ -608,8 +634,10 @@ mod tests {
         b.state("s0").initial();
         b.state("s1");
         b.state("s2").accepting();
-        b.rule("s0", "s1", "x_new < x_old & a(x_old) & a(x_new)").unwrap();
-        b.rule("s1", "s2", "x_new < x_old & a(x_old) & a(x_new)").unwrap();
+        b.rule("s0", "s1", "x_new < x_old & a(x_old) & a(x_new)")
+            .unwrap();
+        b.rule("s1", "s2", "x_new < x_old & a(x_old) & a(x_new)")
+            .unwrap();
         let system = b.finish().unwrap();
         let outcome = Engine::new(&class, &system).run();
         assert!(outcome.is_nonempty());

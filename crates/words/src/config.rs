@@ -72,14 +72,9 @@ pub fn component_span(nfa: &Nfa, states: &[NfaStateId]) -> Vec<Option<(usize, us
 
 /// Is state `s` allowed strictly inside the gap between positions `a` and
 /// `a+1`? (Its component must span the gap.)
-pub fn allowed_in_gap(
-    nfa: &Nfa,
-    span: &[Option<(usize, usize)>],
-    a: usize,
-    s: NfaStateId,
-) -> bool {
+pub fn allowed_in_gap(nfa: &Nfa, span: &[Option<(usize, usize)>], a: usize, s: NfaStateId) -> bool {
     match span[nfa.component(s)] {
-        Some((first, last)) => first <= a && last >= a + 1,
+        Some((first, last)) => first <= a && last > a,
         None => false,
     }
 }
@@ -269,8 +264,7 @@ mod tests {
         assert!(nfa.accepts_state_sequence(&word));
         // Enumerate all subsets; keep the pointer-closed ones.
         for mask in 1u32..(1 << word.len()) {
-            let subset: Vec<usize> =
-                (0..word.len()).filter(|i| mask & (1 << i) != 0).collect();
+            let subset: Vec<usize> = (0..word.len()).filter(|i| mask & (1 << i) != 0).collect();
             // Closure: first/last occurrence (globally) of each component
             // present... here one component, so positions 0 and 5 must be in.
             let closed = subset.contains(&0) && subset.contains(&5);

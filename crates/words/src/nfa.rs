@@ -117,10 +117,7 @@ impl Nfa {
             }
         }
         let map_set = |xs: &[u32]| -> Vec<NfaStateId> {
-            let s: BTreeSet<u32> = xs
-                .iter()
-                .filter_map(|&x| renumber[x as usize])
-                .collect();
+            let s: BTreeSet<u32> = xs.iter().filter_map(|&x| renumber[x as usize]).collect();
             s.into_iter().map(NfaStateId).collect()
         };
         let entry = map_set(&entry);
@@ -354,7 +351,9 @@ impl Nfa {
         !seq.is_empty()
             && self.is_entry(seq[0])
             && self.is_accepting(*seq.last().expect("nonempty"))
-            && seq.windows(2).all(|w| self.successors(w[0]).contains(&w[1]))
+            && seq
+                .windows(2)
+                .all(|w| self.successors(w[0]).contains(&w[1]))
     }
 }
 
@@ -405,14 +404,7 @@ mod tests {
 
     #[test]
     fn empty_language_detected() {
-        assert!(Nfa::new(
-            vec!["a".into()],
-            vec![0, 0],
-            vec![],
-            vec![0],
-            vec![1]
-        )
-        .is_none());
+        assert!(Nfa::new(vec!["a".into()], vec![0, 0], vec![], vec![0], vec![1]).is_none());
     }
 
     #[test]
@@ -454,8 +446,6 @@ mod tests {
         assert_eq!(p.len(), 1); // one intermediate (1 or 3)
         let only3 = nfa.path_avoiding(s0, s2, &|q| q == NfaStateId(3)).unwrap();
         assert_eq!(only3, vec![NfaStateId(3)]);
-        assert!(nfa
-            .path_avoiding(s0, s2, &|q| q == NfaStateId(9))
-            .is_none());
+        assert!(nfa.path_avoiding(s0, s2, &|q| q == NfaStateId(9)).is_none());
     }
 }

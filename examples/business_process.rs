@@ -89,7 +89,11 @@ fn main() {
     println!();
     println!(
         "negative control (two rows sharing an id under ⊙): {}",
-        if outcome.is_empty() { "EMPTY, as it must be" } else { "?!" }
+        if outcome.is_empty() {
+            "EMPTY, as it must be"
+        } else {
+            "?!"
+        }
     );
 }
 

@@ -87,14 +87,22 @@ fn main() {
     let mut b = SystemBuilder::new(schema, &["x", "y"]);
     b.state("scan").initial();
     b.state("flag").accepting();
-    b.rule("scan", "flag", "read(x_old) & write(x_old) & y_old = y_new & x_old = x_new")
-        .unwrap();
+    b.rule(
+        "scan",
+        "flag",
+        "read(x_old) & write(x_old) & y_old = y_new & x_old = x_new",
+    )
+    .unwrap();
     let audit3 = b.finish().unwrap();
     let outcome = Engine::new(&class, &audit3).run();
     println!();
     println!(
         "audit 3 (read & write at one position): {}",
-        if outcome.is_empty() { "EMPTY, as it must be" } else { "?!" }
+        if outcome.is_empty() {
+            "EMPTY, as it must be"
+        } else {
+            "?!"
+        }
     );
     println!(
         "  configurations explored: {}",

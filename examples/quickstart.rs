@@ -16,8 +16,12 @@ fn example1(schema: std::sync::Arc<Schema>) -> System {
     b.state("q0");
     b.state("q1");
     b.state("end").accepting();
-    b.rule("start", "q0", "x_old = x_new & x_new = y_old & y_old = y_new")
-        .unwrap();
+    b.rule(
+        "start",
+        "q0",
+        "x_old = x_new & x_new = y_old & y_old = y_new",
+    )
+    .unwrap();
     b.rule("q0", "q1", "x_old = x_new & E(y_old, y_new) & red(y_new)")
         .unwrap();
     b.rule("q1", "q0", "x_old = x_new & E(y_old, y_new) & red(y_new)")
@@ -60,7 +64,15 @@ fn main() {
     let (r0, r1, w) = (Element(0), Element(1), Element(2));
     h.add_fact(red, &[r0]).unwrap();
     h.add_fact(red, &[r1]).unwrap();
-    for (a, b) in [(r0, r1), (r1, r0), (r0, w), (w, r0), (r1, w), (w, r1), (w, w)] {
+    for (a, b) in [
+        (r0, r1),
+        (r1, r0),
+        (r0, w),
+        (w, r0),
+        (r1, w),
+        (w, r1),
+        (w, w),
+    ] {
         h.add_fact(e, &[a, b]).unwrap();
     }
     let hom = HomClass::new(h);

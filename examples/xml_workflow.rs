@@ -19,9 +19,9 @@ fn main() {
     let aut = TreeAutomaton::new(
         vec!["catalog".into(), "section".into(), "item".into()],
         vec![0, 1, 2],
-        vec![2],       // leaf states: I
-        vec![0],       // root states: C
-        vec![0, 1, 2], // rightmost: any
+        vec![2],                              // leaf states: I
+        vec![0],                              // root states: C
+        vec![0, 1, 2],                        // rightmost: any
         vec![(1, 0), (2, 0), (1, 1), (2, 1)], // first child: S|I under C, S|I under S
         vec![(1, 1), (2, 1), (1, 2), (2, 2)], // siblings among S/I freely
     );
@@ -56,7 +56,14 @@ fn main() {
             println!("  Treedb: {db}");
             println!("  run:    {run}");
         }
-        None => println!("outcome: {}", if outcome.is_nonempty() { "non-empty (uncertified)" } else { "EMPTY" }),
+        None => println!(
+            "outcome: {}",
+            if outcome.is_nonempty() {
+                "non-empty (uncertified)"
+            } else {
+                "EMPTY"
+            }
+        ),
     }
     println!(
         "  explored {} configurations",
@@ -75,7 +82,11 @@ fn main() {
     println!();
     println!(
         "negative control (item above catalog): {}",
-        if outcome.is_empty() { "EMPTY, as it must be" } else { "?!" }
+        if outcome.is_empty() {
+            "EMPTY, as it must be"
+        } else {
+            "?!"
+        }
     );
     // The bounded baseline agrees.
     assert!(bounded_emptiness(class.automaton(), &impossible, 6).is_none());

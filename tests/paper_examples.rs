@@ -3,7 +3,9 @@
 use dds::prelude::*;
 use dds::reductions::counter::CounterMachine;
 use dds::reductions::lemma1::{lemma1_system, LinearTm};
-use dds::reductions::trees_undec::{fact16_bounded_check, one_counter_bump, theorem17_bounded_check};
+use dds::reductions::trees_undec::{
+    fact16_bounded_check, one_counter_bump, theorem17_bounded_check,
+};
 use dds::reductions::words_succ::bounded_check as fact15_check;
 
 fn graph_schema() -> std::sync::Arc<Schema> {
@@ -19,8 +21,12 @@ fn example1(schema: std::sync::Arc<Schema>) -> System {
     b.state("q0");
     b.state("q1");
     b.state("end").accepting();
-    b.rule("start", "q0", "x_old = x_new & x_new = y_old & y_old = y_new")
-        .unwrap();
+    b.rule(
+        "start",
+        "q0",
+        "x_old = x_new & x_new = y_old & y_old = y_new",
+    )
+    .unwrap();
     b.rule("q0", "q1", "x_old = x_new & E(y_old, y_new) & red(y_new)")
         .unwrap();
     b.rule("q1", "q0", "x_old = x_new & E(y_old, y_new) & red(y_new)")
@@ -48,7 +54,15 @@ fn examples_1_and_2() {
     let (r0, r1, w) = (Element(0), Element(1), Element(2));
     h.add_fact(red, &[r0]).unwrap();
     h.add_fact(red, &[r1]).unwrap();
-    for (a, b) in [(r0, r1), (r1, r0), (r0, w), (w, r0), (r1, w), (w, r1), (w, w)] {
+    for (a, b) in [
+        (r0, r1),
+        (r1, r0),
+        (r0, w),
+        (w, r0),
+        (r1, w),
+        (w, r1),
+        (w, w),
+    ] {
         h.add_fact(e, &[a, b]).unwrap();
     }
     let hom = HomClass::new(h);
@@ -71,7 +85,15 @@ fn example1_witness_escapes_example2_template() {
     let (r0, r1, w) = (Element(0), Element(1), Element(2));
     h.add_fact(red, &[r0]).unwrap();
     h.add_fact(red, &[r1]).unwrap();
-    for (a, b) in [(r0, r1), (r1, r0), (r0, w), (w, r0), (r1, w), (w, r1), (w, w)] {
+    for (a, b) in [
+        (r0, r1),
+        (r1, r0),
+        (r0, w),
+        (w, r0),
+        (r1, w),
+        (w, r1),
+        (w, w),
+    ] {
         h.add_fact(e, &[a, b]).unwrap();
     }
     assert!(dds::structure::morphism::find_homomorphism(db, &h).is_none());
@@ -124,14 +146,20 @@ fn fact2_preserves_emptiness_over_the_engine() {
     let mut b = SystemBuilder::new(schema.clone(), &["x"]);
     b.state("s").initial();
     b.state("t").accepting();
-    b.rule("s", "t", "x_old = x_new & (exists z . E(x_old, z) & red(z))")
-        .unwrap();
+    b.rule(
+        "s",
+        "t",
+        "x_old = x_new & (exists z . E(x_old, z) & red(z))",
+    )
+    .unwrap();
     let system = b.finish().unwrap();
     let class = FreeRelationalClass::new(schema);
     let outcome = Engine::new(&class, &system).run();
     let (db, run) = outcome.witness().expect("certified");
     // Projected run satisfies the original existential system.
-    system.check_run(db, &run.project_registers(1), true).unwrap();
+    system
+        .check_run(db, &run.project_registers(1), true)
+        .unwrap();
 }
 
 /// Linear orders: strictly-increasing walks of any fixed length are
@@ -206,20 +234,26 @@ fn rational_order_data_is_dense() {
     let mut s = Schema::new();
     s.add_relation("E", 2).unwrap();
     let base = s.finish();
-    let class = dds::core::DataClass::new(
-        FreeRelationalClass::new(base),
-        DataSpec::rational_order(),
-    );
+    let class =
+        dds::core::DataClass::new(FreeRelationalClass::new(base), DataSpec::rational_order());
     let schema = class.schema().clone();
     let mut b = SystemBuilder::new(schema, &["x", "lo"]);
     b.state("s0").initial();
     b.state("s1");
     b.state("s2").accepting();
     // Two strict descents that stay above a fixed lower bound: density.
-    b.rule("s0", "s1", "lo_old = lo_new & x_new << x_old & lo_old << x_new")
-        .unwrap();
-    b.rule("s1", "s2", "lo_old = lo_new & x_new << x_old & lo_old << x_new")
-        .unwrap();
+    b.rule(
+        "s0",
+        "s1",
+        "lo_old = lo_new & x_new << x_old & lo_old << x_new",
+    )
+    .unwrap();
+    b.rule(
+        "s1",
+        "s2",
+        "lo_old = lo_new & x_new << x_old & lo_old << x_new",
+    )
+    .unwrap();
     let system = b.finish().unwrap();
     let outcome = Engine::new(&class, &system).run();
     let (db, run) = outcome.witness().expect("certified");

@@ -1,0 +1,278 @@
+//! Offline stand-in for the [`criterion`] benchmarking crate.
+//!
+//! This build environment has no network access to crates.io, so the
+//! workspace vendors the subset of the criterion API that
+//! `crates/bench/benches/experiments.rs` uses: [`Criterion`] with the
+//! builder knobs (`sample_size`, `warm_up_time`, `measurement_time`),
+//! benchmark groups, [`BenchmarkId`], per-input benches and the
+//! [`criterion_group!`]/[`criterion_main!`] macros with `harness = false`.
+//!
+//! Measurement is simple wall-clock averaging: warm up for the configured
+//! duration, then run iterations until the measurement window closes, and
+//! report mean ns/iter on stdout. No statistics, plots, or baselines —
+//! the point is that the E1–E10 experiment harness compiles, runs, and
+//! prints comparable shapes. Swapping the real crate back in requires only
+//! replacing the `criterion` entry in `[workspace.dependencies]` — see
+//! `vendor/README.md`.
+//!
+//! [`criterion`]: https://docs.rs/criterion
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver and configuration.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 100,
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(5),
+        }
+    }
+}
+
+impl Criterion {
+    /// Minimum number of iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// How long to run the closure before timing starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Target duration of the timed window.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Run a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into().label;
+        run_one(self, &label, &mut f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing the parent configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmark a closure under `group/id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_one(self.criterion, &label, &mut f);
+        self
+    }
+
+    /// Benchmark a closure that receives a borrowed input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_one(self.criterion, &label, &mut |b| f(b, input));
+        self
+    }
+
+    /// Close the group (prints nothing extra in the stand-in).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark, optionally parameterized (`name/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark id `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// A benchmark id carrying only a parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { label: s.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        Self { label }
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the hot loop.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time repeated calls of `f`: warm up for `warm_up_time`, then measure
+    /// until `measurement_time` elapses *and* at least `sample_size`
+    /// iterations have run (so slow closures still get a real mean).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        while Instant::now() < warm_deadline {
+            black_box(f());
+        }
+        let start = Instant::now();
+        let deadline = start + self.measurement_time;
+        let mut iters: u64 = 0;
+        while iters < self.sample_size as u64 || Instant::now() < deadline {
+            black_box(f());
+            iters += 1;
+        }
+        self.iters = iters;
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The positional CLI argument, if any — `cargo bench -- <substring>`
+/// filters benchmarks by label, matching real criterion's behavior.
+fn cli_filter() -> Option<&'static str> {
+    use std::sync::OnceLock;
+    static FILTER: OnceLock<Option<String>> = OnceLock::new();
+    FILTER
+        .get_or_init(|| std::env::args().skip(1).find(|a| !a.starts_with('-')))
+        .as_deref()
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(config: &Criterion, label: &str, f: &mut F) {
+    if let Some(filter) = cli_filter() {
+        if !label.contains(filter) {
+            return;
+        }
+    }
+    let mut bencher = Bencher {
+        sample_size: config.sample_size,
+        warm_up_time: config.warm_up_time,
+        measurement_time: config.measurement_time,
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    if bencher.iters == 0 {
+        println!("{label:<60} (no iterations recorded)");
+        return;
+    }
+    let ns_per_iter = bencher.elapsed.as_nanos() as f64 / bencher.iters as f64;
+    println!(
+        "{label:<60} {:>14.1} ns/iter ({} iters)",
+        ns_per_iter, bencher.iters
+    );
+}
+
+/// Bundle benchmark functions into a runnable group, mirroring criterion's
+/// `name = ..; config = ..; targets = ..` and positional forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $name:ident;
+        config = $config:expr;
+        targets = $($target:path),+ $(,)?
+    ) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generate `fn main()` running the given groups (for `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("g");
+        g.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.bench_function("plain", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+    }
+
+    criterion_group! {
+        name = quick;
+        config = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        targets = sample_bench
+    }
+
+    #[test]
+    fn group_macro_runs() {
+        quick();
+    }
+}
