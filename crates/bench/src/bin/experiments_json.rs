@@ -1,0 +1,405 @@
+//! Machine-readable E1–E10 experiment runner and perf-regression gate.
+//!
+//! Two modes, combinable:
+//!
+//! * **Record** (default): runs every experiment on a small smoke-sized
+//!   workload and writes one JSON object per experiment —
+//!   `{"id", "wall_ns", "configs_explored", "outcome"}` — as a JSON array to
+//!   `--out PATH` (default `BENCH_E1_E10.json`).
+//! * **Gate** (`--gate BASELINE.json`): after recording, compares each
+//!   experiment's `wall_ns` against the committed baseline and exits
+//!   non-zero when any experiment regressed by more than the allowed ratio
+//!   (default 2.0, `DDS_BENCH_MAX_RATIO`) *and* more than the absolute noise
+//!   floor (default 5 ms, `DDS_BENCH_FLOOR_MS`). Small absolute differences
+//!   never fail the gate, so microsecond-scale experiments do not flap.
+//!
+//! Each experiment is measured `DDS_BENCH_REPS` times (default 3) and the
+//! minimum wall time is reported — the standard trick to suppress scheduler
+//! noise on shared CI runners.
+//!
+//! Refreshing the committed baseline after an intentional perf change is one
+//! line:
+//!
+//! ```text
+//! cargo run --release -p dds_bench --bin experiments_json -- --out bench/baseline.json
+//! ```
+//!
+//! The JSON reader in the gate is intentionally minimal: it parses exactly
+//! the flat `[{...}, ...]` shape this writer produces (which is also valid
+//! JSON for any standards-compliant consumer).
+
+use dds_bench::{chain_system, cycle_template, example1, graph_schema, run_engine, run_free};
+use dds_core::{DataClass, DataSpec, Engine, FreeRelationalClass, SymbolicClass};
+use dds_reductions::counter::CounterMachine;
+use dds_reductions::lemma1::{lemma1_system, LinearTm};
+use dds_reductions::words_succ;
+use dds_system::{eliminate_existentials, SystemBuilder};
+use dds_trees::pointers::{blowup_ratio, run_pointers};
+use dds_trees::tree::Tree;
+use dds_trees::{TreeAutomaton, TreeClass};
+use dds_words::{Nfa, WordClass};
+use std::time::Instant;
+
+/// One experiment's recorded result.
+struct Record {
+    id: &'static str,
+    wall_ns: u128,
+    configs_explored: u64,
+    outcome: String,
+}
+
+fn env_or<T: std::str::FromStr>(name: &str, default: T) -> T {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Runs `work` `reps` times; returns the minimum wall time and the (stable)
+/// result of the last run.
+fn measure<R>(reps: u32, mut work: impl FnMut() -> R) -> (u128, R) {
+    let mut best = u128::MAX;
+    let mut result = None;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        let r = work();
+        best = best.min(t0.elapsed().as_nanos());
+        result = Some(r);
+    }
+    (best, result.expect("reps >= 1"))
+}
+
+fn outcome_str(nonempty: bool) -> String {
+    if nonempty { "nonempty" } else { "empty" }.to_owned()
+}
+
+fn run_all(reps: u32) -> Vec<Record> {
+    let mut out = Vec::new();
+    let mut push = |id: &'static str, wall_ns: u128, configs: u64, outcome: String| {
+        eprintln!(
+            "{id}: {:.3} ms  configs={configs}  {outcome}",
+            wall_ns as f64 / 1e6
+        );
+        out.push(Record {
+            id,
+            wall_ns,
+            configs_explored: configs,
+            outcome,
+        });
+    };
+
+    // E1 — Lemma 1 PSpace-hardness family (tape length 2).
+    {
+        let tm = LinearTm::flip_and_check();
+        let system = lemma1_system(&tm, 2);
+        let (ns, (ne, configs)) = measure(reps, || {
+            let class = FreeRelationalClass::new(system.schema().clone());
+            run_engine(&class, &system)
+        });
+        push("E1_lemma1_tape2", ns, configs as u64, outcome_str(ne));
+    }
+
+    // E2 — Fact 2 existential elimination (guard size 256).
+    {
+        let mut sc = dds_structure::Schema::new();
+        sc.add_relation("E", 2).unwrap();
+        let schema = sc.finish();
+        let n = 256usize;
+        let names: Vec<String> = (0..n).map(|i| format!("z{i}")).collect();
+        let mut parts = vec!["E(x_old, z0)".to_owned()];
+        for i in 1..n {
+            parts.push(format!("E(z{}, z{})", i - 1, i));
+        }
+        let guard = format!("exists {} . {}", names.join(" "), parts.join(" & "));
+        let mut b = SystemBuilder::new(schema, &["x"]);
+        b.state("s").initial().accepting();
+        b.rule("s", "s", &guard).unwrap();
+        let system = b.finish().unwrap();
+        let (ns, _) = measure(reps, || eliminate_existentials(&system).unwrap());
+        push("E2_elim_guard256", ns, 0, "ok".to_owned());
+    }
+
+    // E3 — Theorem 4 HOM emptiness (cycle template of size 3).
+    {
+        let schema = graph_schema();
+        let system = example1(schema.clone());
+        let class = cycle_template(schema, 3);
+        let (ns, (ne, configs)) = measure(reps, || run_engine(&class, &system));
+        push("E3_hom_cycle3", ns, configs as u64, outcome_str(ne));
+    }
+
+    // E4 — Theorem 5 scaling: chain of 8 states (free class).
+    {
+        let schema = graph_schema();
+        let system = chain_system(schema, 8);
+        let (ns, (ne, configs)) = measure(reps, || run_free(&system));
+        push("E4_chain_states8", ns, configs as u64, outcome_str(ne));
+    }
+
+    // E5 — Theorem 10 word emptiness (4-state NFA).
+    {
+        let nfa = Nfa::new(
+            vec!["a".into(), "b".into(), "c".into(), "d".into()],
+            vec![0, 1, 2, 3],
+            vec![(0, 1), (1, 2), (2, 3), (3, 0), (1, 1)],
+            vec![0],
+            vec![3],
+        )
+        .unwrap();
+        let class = WordClass::new(nfa);
+        let schema = class.schema().clone();
+        let mut b = SystemBuilder::new(schema, &["x"]);
+        b.state("s").initial();
+        b.state("t").accepting();
+        b.rule("s", "t", "x_old < x_new").unwrap();
+        let system = b.finish().unwrap();
+        let (ns, (ne, configs)) = measure(reps, || run_engine(&class, &system));
+        push("E5_word_nfa4", ns, configs as u64, outcome_str(ne));
+    }
+
+    // E6 — Theorem 3 tree emptiness (2-step walk).
+    {
+        let aut = TreeAutomaton::new(
+            vec!["r".into(), "a".into(), "b".into()],
+            vec![0, 1, 2],
+            vec![2],
+            vec![0],
+            vec![0, 1, 2],
+            vec![(1, 0), (2, 0), (1, 1), (2, 1)],
+            vec![],
+        );
+        let class = TreeClass::new(aut);
+        let schema = class.schema().clone();
+        let mut b = SystemBuilder::new(schema, &["x"]);
+        b.state("s0").initial();
+        b.state("s1");
+        b.state("acc").accepting();
+        b.rule("s0", "s1", "x_old <= x_new & x_old != x_new")
+            .unwrap();
+        b.rule("s1", "acc", "b(x_old) & x_old = x_new").unwrap();
+        let system = b.finish().unwrap();
+        let (ns, (ne, configs)) = measure(reps, || run_engine(&class, &system));
+        push("E6_tree_walk2", ns, configs as u64, outcome_str(ne));
+    }
+
+    // E7 — Proposition 1 data values (rational order product).
+    {
+        let schema = graph_schema();
+        let class = DataClass::new(
+            FreeRelationalClass::new(schema.clone()),
+            DataSpec::rational_order(),
+        );
+        let mut b = SystemBuilder::new(class.schema().clone(), &["x"]);
+        b.state("s").initial();
+        b.state("m");
+        b.state("t").accepting();
+        let guard = "E(x_old, x_new) & x_old << x_new";
+        b.rule("s", "m", guard).unwrap();
+        b.rule("m", "t", guard).unwrap();
+        let system = b.finish().unwrap();
+        let (ns, (ne, configs)) = measure(reps, || run_engine(&class, &system));
+        push("E7_data_rational", ns, configs as u64, outcome_str(ne));
+    }
+
+    // E8 — Lemma 14 pointer-closure blowup (chain depth 64).
+    {
+        let aut = TreeAutomaton::new(
+            vec!["r".into(), "a".into(), "b".into()],
+            vec![0, 1, 2],
+            vec![2],
+            vec![0],
+            vec![0, 1, 2],
+            vec![(1, 0), (2, 0), (1, 1), (2, 1)],
+            vec![],
+        );
+        let depth = 64usize;
+        let mut t = Tree::leaf(0);
+        let mut cur = 0;
+        for _ in 0..depth {
+            cur = t.push_child(cur, 1);
+        }
+        t.push_child(cur, 2);
+        let mut states = vec![0u32];
+        states.extend(std::iter::repeat(1).take(depth));
+        states.push(2);
+        let (ns, ratio) = measure(reps, || {
+            let ptr = run_pointers(&aut, &t, &states);
+            let mid = 1 + depth / 2;
+            blowup_ratio(&t, &ptr, &[mid, t.len() - 1])
+        });
+        push(
+            "E8_blowup_depth64",
+            ns,
+            0,
+            format!("ratio_x1000={}", (ratio * 1000.0) as u64),
+        );
+    }
+
+    // E9 — §6 undecidability: bounded counter-machine search (3 steps).
+    {
+        let m = CounterMachine::count_up_down(3);
+        let (ns, found) = measure(reps, || words_succ::bounded_check(&m, 5).is_some());
+        push(
+            "E9_counter3",
+            ns,
+            0,
+            if found { "halts" } else { "open" }.to_owned(),
+        );
+    }
+
+    // E10 — the headline: amalgamation engine proving emptiness over
+    // HOM(2-cycle) outright (brute force can never conclude).
+    {
+        let schema = graph_schema();
+        let system = example1(schema.clone());
+        let class = cycle_template(schema, 2);
+        let (ns, (empty, configs)) = measure(reps, || {
+            let outcome = Engine::new(&class, &system).run();
+            let configs = outcome.stats().configs_explored;
+            (outcome.is_empty(), configs)
+        });
+        push(
+            "E10_engine_empty_hom2",
+            ns,
+            configs as u64,
+            outcome_str(!empty),
+        );
+    }
+
+    out
+}
+
+fn write_json(path: &str, records: &[Record]) -> std::io::Result<()> {
+    let mut s = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        s.push_str(&format!(
+            "  {{\"id\":\"{}\",\"wall_ns\":{},\"configs_explored\":{},\"outcome\":\"{}\"}}{}\n",
+            r.id,
+            r.wall_ns,
+            r.configs_explored,
+            r.outcome,
+            if i + 1 == records.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("]\n");
+    std::fs::write(path, s)
+}
+
+/// Extracts `"key":<value>` from one serialized object, where the value is a
+/// quoted string or a bare integer (the only shapes this tool writes).
+fn extract_field(obj: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":");
+    let start = obj.find(&pat)? + pat.len();
+    let rest = &obj[start..];
+    if let Some(stripped) = rest.strip_prefix('"') {
+        Some(stripped[..stripped.find('"')?].to_owned())
+    } else {
+        let end = rest
+            .find(|c: char| !c.is_ascii_digit())
+            .unwrap_or(rest.len());
+        (end > 0).then(|| rest[..end].to_owned())
+    }
+}
+
+/// Parses a `[{...}, ...]` file produced by [`write_json`] into
+/// `(id, wall_ns)` pairs.
+fn read_baseline(path: &str) -> Result<Vec<(String, u128)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut out = Vec::new();
+    for obj in text.split('{').skip(1) {
+        let obj = obj.split('}').next().unwrap_or("");
+        let id = extract_field(obj, "id").ok_or_else(|| format!("{path}: object without id"))?;
+        let wall: u128 = extract_field(obj, "wall_ns")
+            .and_then(|w| w.parse().ok())
+            .ok_or_else(|| format!("{path}: bad wall_ns for {id}"))?;
+        out.push((id, wall));
+    }
+    Ok(out)
+}
+
+fn gate(records: &[Record], baseline_path: &str) -> Result<(), String> {
+    let max_ratio: f64 = env_or("DDS_BENCH_MAX_RATIO", 2.0);
+    let floor_ns: u128 = env_or::<u128>("DDS_BENCH_FLOOR_MS", 5) * 1_000_000;
+    let baseline = read_baseline(baseline_path)?;
+    // Id-set drift disables regression protection silently, so it fails the
+    // gate in both directions: an experiment rename/removal leaves an
+    // orphaned baseline entry, and a new experiment has no reference yet —
+    // either way the fix is the one-line baseline refresh.
+    let mut mismatches: Vec<String> = baseline
+        .iter()
+        .filter(|(id, _)| !records.iter().any(|r| r.id == id))
+        .map(|(id, _)| format!("baseline entry `{id}` matches no experiment"))
+        .collect();
+    let mut failures = Vec::new();
+    for r in records {
+        let Some((_, base)) = baseline.iter().find(|(id, _)| id == r.id) else {
+            mismatches.push(format!("experiment `{}` has no baseline entry", r.id));
+            continue;
+        };
+        let ratio = r.wall_ns as f64 / (*base).max(1) as f64;
+        let over_floor = r.wall_ns > base + floor_ns;
+        let verdict = if ratio > max_ratio && over_floor {
+            failures.push(r.id);
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        eprintln!(
+            "gate: {:24} {:>12} ns vs baseline {:>12} ns  ({ratio:.2}x) {verdict}",
+            r.id, r.wall_ns, base
+        );
+    }
+    if failures.is_empty() && mismatches.is_empty() {
+        Ok(())
+    } else {
+        let mut msg = String::new();
+        if !failures.is_empty() {
+            msg.push_str(&format!(
+                "perf regression gate failed (> {max_ratio}x and > {floor_ns} ns absolute): {failures:?}\n"
+            ));
+        }
+        if !mismatches.is_empty() {
+            msg.push_str(&format!(
+                "experiment/baseline id mismatch: {mismatches:?}\n"
+            ));
+        }
+        msg.push_str(
+            "If intentional, refresh the baseline:\n\
+             cargo run --release -p dds_bench --bin experiments_json -- --out bench/baseline.json",
+        );
+        Err(msg)
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = "BENCH_E1_E10.json".to_owned();
+    let mut gate_path = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                out_path = args.get(i + 1).expect("--out PATH").clone();
+                i += 2;
+            }
+            "--gate" => {
+                gate_path = Some(args.get(i + 1).expect("--gate BASELINE").clone());
+                i += 2;
+            }
+            other => {
+                eprintln!("usage: experiments_json [--out PATH] [--gate BASELINE.json]");
+                panic!("unknown argument: {other}");
+            }
+        }
+    }
+    let reps: u32 = env_or("DDS_BENCH_REPS", 3);
+    let records = run_all(reps);
+    write_json(&out_path, &records).expect("write results");
+    eprintln!("wrote {} records to {out_path}", records.len());
+    if let Some(b) = gate_path {
+        if let Err(msg) = gate(&records, &b) {
+            eprintln!("{msg}");
+            std::process::exit(1);
+        }
+    }
+}

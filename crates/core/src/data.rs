@@ -21,7 +21,7 @@
 //! shared domain — exactly how [`DataClass::amalgams`] composes the inner
 //! class's amalgams with data-part extensions.
 
-use crate::amalgam::{project_structure, AmalgamClass, Hint};
+use crate::amalgam::{project_structure, AmalgamClass, GuardHints};
 use crate::class::Pointed;
 use crate::equiv::block_extensions;
 use dds_structure::{Element, Schema, Structure, SymbolId};
@@ -336,16 +336,22 @@ impl<C: AmalgamClass> AmalgamClass for DataClass<C> {
         out
     }
 
-    fn amalgams(&self, base: &Pointed, hints: &[Hint]) -> Vec<Pointed> {
+    fn amalgams(&self, base: &Pointed, hints: &GuardHints) -> Vec<Pointed> {
         // Split work: inner class handles the σ part, we extend the data
         // part. Hints for the inner class are those over its symbols (shared
-        // prefix of the internal schema).
+        // prefix of the internal schema); the forced (dis)equalities are
+        // schema-independent, so the inner class prunes placements with
+        // them directly.
         let inner_syms = self.inner.internal_schema().len();
-        let inner_hints: Vec<Hint> = hints
-            .iter()
-            .filter(|(r, _)| r.index() < inner_syms)
-            .cloned()
-            .collect();
+        let inner_hints = GuardHints {
+            atoms: hints
+                .atoms
+                .iter()
+                .filter(|(r, _)| r.index() < inner_syms)
+                .cloned()
+                .collect(),
+            eqs: hints.eqs.clone(),
+        };
         let base_inner = Pointed::new(
             project_structure(&base.structure, self.inner.internal_schema()),
             base.points.clone(),
@@ -443,7 +449,7 @@ mod tests {
     fn data_amalgams_freeze_old_values() {
         let class = DataClass::new(base(), DataSpec::nat_eq());
         for base_cfg in class.initial_configs(2) {
-            for cand in class.amalgams(&base_cfg.pointed, &[]) {
+            for cand in class.amalgams(&base_cfg.pointed, &GuardHints::default()) {
                 let old = class.data_classes(&base_cfg.pointed.structure);
                 let new = class.data_classes(&cand.structure);
                 // Old elements keep their equalities.

@@ -1,4 +1,5 @@
-//! The Theorem 5 decision procedure, determinised.
+//! The Theorem 5 decision procedure, determinised — as an interned,
+//! optionally parallel frontier engine.
 //!
 //! The paper's algorithm nondeterministically guesses a sequence of small
 //! configurations connected by sub-transitions; correctness is Appendix C's
@@ -12,6 +13,32 @@
 //! * acceptance is reached exactly when the system has an accepting run
 //!   driven by some member of the class.
 //!
+//! ## Engine architecture
+//!
+//! Three decisions make the search fast without changing a single explored
+//! edge (see `tests/determinism.rs` in the workspace root for the proof by
+//! testing):
+//!
+//! * **Hash-consing** ([`crate::intern::Interner`]): every canonical
+//!   configuration is stored exactly once and addressed by a dense
+//!   [`crate::intern::ConfigId`]. The visited set becomes one bitmap per
+//!   control state probed by precomputed 64-bit key hashes
+//!   ([`dds_structure::CanonicalKey::hash64`]) — no clones, no re-hashing.
+//! * **Transition memoization**: successor sets depend only on the
+//!   configuration and the rule's guard, so they are cached as id slices
+//!   keyed by `(configuration id, guard class)`, where rules with
+//!   syntactically equal guards share a guard class. Systems that reuse a
+//!   guard across control states (ubiquitous in the E1–E10 experiments) pay
+//!   for each expansion once.
+//! * **Level-synchronous parallel frontier** (`threads >= 2`): each BFS
+//!   layer's uncached successor computations fan out across
+//!   [`std::thread::scope`] workers, then a sequential merge replays the
+//!   layer in exactly the order the `threads = 1` path uses. Outcomes,
+//!   traces, statistics (up to wall-clock timings) and certificates are
+//!   bit-identical to the sequential engine, because the merge performs the
+//!   identical sequence of dedup probes, arena pushes and counter updates —
+//!   workers only *precompute* pure successor sets.
+//!
 //! On a non-empty answer the engine extracts the trace and asks the class to
 //! *concretize* it into an actual database and run, then re-validates the
 //! pair against the independent explicit model checker — a machine-checked
@@ -20,9 +47,13 @@
 //! Existential guards are accepted and compiled away up front (Fact 2).
 
 use crate::class::{SymbolicClass, Trace, TraceStep};
+use crate::intern::{ConfigId, Interner};
 use dds_structure::Structure;
 use dds_system::{eliminate_existentials, Run, StateId, System};
-use std::collections::HashSet;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::Instant;
 
 /// Tunables for the search.
 #[derive(Clone, Copy, Debug)]
@@ -32,6 +63,20 @@ pub struct EngineOptions {
     pub max_configs: usize,
     /// Whether to concretize (and certify) witnesses for non-empty answers.
     pub concretize: bool,
+    /// Worker threads for frontier expansion. `1` (the default) runs the
+    /// exact sequential exploration order; `0` asks the OS via
+    /// [`std::thread::available_parallelism`]; `n >= 2` expands each BFS
+    /// layer on `n` scoped workers with a deterministic merge, producing
+    /// bit-identical outcomes to `threads = 1`.
+    pub threads: usize,
+    /// Tasks claimed per worker grab in the parallel path. `0` (the
+    /// default) splits each layer evenly across the workers; small values
+    /// trade scheduling overhead for better load balance on skewed layers.
+    pub chunk_size: usize,
+    /// Memoize successor sets by `(configuration, guard)`. Disabling trades
+    /// time for memory on searches with little guard reuse; outcomes are
+    /// unaffected either way.
+    pub transition_cache: bool,
 }
 
 impl Default for EngineOptions {
@@ -39,24 +84,78 @@ impl Default for EngineOptions {
         EngineOptions {
             max_configs: 1_000_000,
             concretize: true,
+            threads: 1,
+            chunk_size: 0,
+            transition_cache: true,
         }
     }
 }
 
 /// Search statistics, reported with every outcome (experiment E4 plots
 /// these against the paper's `log n · poly(blowup(2k))` bound).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+///
+/// All fields except the `*_ns` wall-clock timings are **deterministic**:
+/// they depend only on the class, the system, `max_configs` and
+/// `transition_cache`, never on `threads` or `chunk_size`
+/// (`transition_cache_hits` is identically zero with the memo disabled).
+/// Equality (`==`) compares exactly the deterministic fields, so outcome
+/// comparisons across worker counts are meaningful.
+#[derive(Clone, Copy, Debug, Default)]
 pub struct EngineStats {
     /// Distinct initial `(state, config)` pairs.
     pub initial_configs: usize,
     /// Distinct `(state, config)` pairs explored.
     pub configs_explored: usize,
-    /// Sub-transition computations performed (rule × configuration pairs).
+    /// Sub-transition expansions requested (rule × configuration pairs).
     pub transitions_computed: usize,
+    /// Expansions answered from the transition memo instead of the class.
+    pub transition_cache_hits: usize,
+    /// Distinct canonical configurations interned (across all states).
+    pub unique_configs: usize,
+    /// Successor probes that found an already-visited `(state, config)`.
+    pub dedup_hits: usize,
+    /// Total successor probes against the visited set.
+    pub dedup_probes: usize,
+    /// BFS layers whose processing began.
+    pub levels: usize,
+    /// Wall time in successor computation, summed across workers.
+    pub expand_ns: u64,
+    /// Wall time of the whole search (excluding certification).
+    pub search_ns: u64,
+    /// Wall time concretizing and certifying the witness.
+    pub certify_ns: u64,
 }
 
+impl EngineStats {
+    /// Fraction of successor probes that were deduplicated (`0.0` when no
+    /// probe happened).
+    pub fn dedup_hit_rate(&self) -> f64 {
+        if self.dedup_probes == 0 {
+            0.0
+        } else {
+            self.dedup_hits as f64 / self.dedup_probes as f64
+        }
+    }
+}
+
+impl PartialEq for EngineStats {
+    /// Compares the deterministic search counters only — the `*_ns` timings
+    /// are measurements, not search results.
+    fn eq(&self, other: &Self) -> bool {
+        self.initial_configs == other.initial_configs
+            && self.configs_explored == other.configs_explored
+            && self.transitions_computed == other.transitions_computed
+            && self.transition_cache_hits == other.transition_cache_hits
+            && self.unique_configs == other.unique_configs
+            && self.dedup_hits == other.dedup_hits
+            && self.dedup_probes == other.dedup_probes
+            && self.levels == other.levels
+    }
+}
+impl Eq for EngineStats {}
+
 /// Result of the emptiness check.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Outcome<Cfg> {
     /// No database of the class drives an accepting run.
     Empty {
@@ -100,6 +199,14 @@ impl<Cfg> Outcome<Cfg> {
         }
     }
 
+    fn stats_mut(&mut self) -> &mut EngineStats {
+        match self {
+            Outcome::Empty { stats }
+            | Outcome::NonEmpty { stats, .. }
+            | Outcome::ResourceLimit { stats } => stats,
+        }
+    }
+
     /// The certified witness, if any.
     pub fn witness(&self) -> Option<&(Structure, Run)> {
         match self {
@@ -115,6 +222,12 @@ pub struct Engine<'a, C: SymbolicClass> {
     original: &'a System,
     compiled: System,
     options: EngineOptions,
+    /// Rule indices grouped by source state — avoids scanning every rule at
+    /// every node.
+    rules_by_state: Vec<Vec<u32>>,
+    /// `guard_class[r]` = smallest rule index with a guard syntactically
+    /// equal to rule `r`'s — the memoization key for shared guards.
+    guard_class: Vec<u32>,
 }
 
 impl<C: SymbolicClass> std::fmt::Debug for Engine<'_, C> {
@@ -127,10 +240,60 @@ impl<C: SymbolicClass> std::fmt::Debug for Engine<'_, C> {
     }
 }
 
-struct Node<Cfg> {
+/// A search node: an interned configuration at a control state, with the
+/// `(arena index, rule index)` that produced it.
+struct Node {
     state: StateId,
-    config: Cfg,
-    parent: Option<(usize, usize)>, // (arena index, rule index)
+    cfg: ConfigId,
+    parent: Option<(usize, usize)>,
+}
+
+/// The mutable search state shared by the sequential and parallel paths.
+struct Search<Cfg> {
+    interner: Interner<Cfg>,
+    /// Visited bitmap per control state, indexed by configuration id.
+    visited: Vec<Vec<u64>>,
+    arena: Vec<Node>,
+    /// Memoized successor ids keyed by `(configuration id, guard class)`.
+    cache: HashMap<(u32, u32), Box<[ConfigId]>>,
+    stats: EngineStats,
+}
+
+/// Merges one successor-id slice into the search: every id is probed
+/// against the visited bitmap and fresh `(to, id)` pairs become arena nodes.
+fn push_successors(
+    visited: &mut [Vec<u64>],
+    arena: &mut Vec<Node>,
+    stats: &mut EngineStats,
+    ids: &[ConfigId],
+    to: StateId,
+    idx: usize,
+    rule_idx: usize,
+) {
+    for &succ in ids {
+        stats.dedup_probes += 1;
+        if visit(visited, to, succ) {
+            arena.push(Node {
+                state: to,
+                cfg: succ,
+                parent: Some((idx, rule_idx)),
+            });
+        } else {
+            stats.dedup_hits += 1;
+        }
+    }
+}
+
+/// Marks `(q, id)` visited; true when it was not visited before.
+fn visit(visited: &mut [Vec<u64>], q: StateId, id: ConfigId) -> bool {
+    let bits = &mut visited[q.index()];
+    let (word, bit) = (id.index() / 64, 1u64 << (id.index() % 64));
+    if bits.len() <= word {
+        bits.resize(word + 1, 0);
+    }
+    let fresh = bits[word] & bit == 0;
+    bits[word] |= bit;
+    fresh
 }
 
 impl<'a, C: SymbolicClass> Engine<'a, C> {
@@ -147,11 +310,23 @@ impl<'a, C: SymbolicClass> Engine<'a, C> {
         );
         let compiled =
             eliminate_existentials(system).expect("guards must be existential formulas (Fact 2)");
+        let mut rules_by_state = vec![Vec::new(); compiled.num_states()];
+        let mut guard_class = Vec::with_capacity(compiled.rules().len());
+        for (i, rule) in compiled.rules().iter().enumerate() {
+            rules_by_state[rule.from.index()].push(i as u32);
+            let class_of = compiled.rules()[..i]
+                .iter()
+                .position(|r| r.guard == rule.guard)
+                .unwrap_or(i);
+            guard_class.push(class_of as u32);
+        }
         Engine {
             class,
             original: system,
             compiled,
             options: EngineOptions::default(),
+            rules_by_state,
+            guard_class,
         }
     }
 
@@ -166,73 +341,287 @@ impl<'a, C: SymbolicClass> Engine<'a, C> {
         &self.compiled
     }
 
+    fn effective_threads(&self) -> usize {
+        match self.options.threads {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
+        }
+    }
+
     /// Decides emptiness.
     pub fn run(&self) -> Outcome<C::Config> {
-        let k = self.compiled.num_registers();
-        let mut stats = EngineStats::default();
-        let mut arena: Vec<Node<C::Config>> = Vec::new();
-        let mut seen: HashSet<(StateId, C::Config)> = HashSet::new();
+        let t0 = Instant::now();
+        let threads = self.effective_threads();
+        let mut outcome = if threads <= 1 {
+            self.run_sequential()
+        } else {
+            self.run_parallel(threads)
+        };
+        let total = t0.elapsed().as_nanos() as u64;
+        let stats = outcome.stats_mut();
+        stats.search_ns = total.saturating_sub(stats.certify_ns);
+        outcome
+    }
 
-        let initial = self.class.initial_configs(k);
+    /// Interns the initial configurations and seeds the arena.
+    fn init_search(&self) -> Search<C::Config> {
+        let k = self.compiled.num_registers();
+        let mut s = Search {
+            interner: Interner::new(),
+            visited: vec![Vec::new(); self.compiled.num_states()],
+            arena: Vec::new(),
+            cache: HashMap::new(),
+            stats: EngineStats::default(),
+        };
+        let ids: Vec<ConfigId> = self
+            .class
+            .initial_configs(k)
+            .into_iter()
+            .map(|cfg| s.interner.intern(cfg).0)
+            .collect();
         for &q in self.compiled.initial() {
-            for cfg in &initial {
-                if seen.insert((q, cfg.clone())) {
-                    arena.push(Node {
+            for &id in &ids {
+                if visit(&mut s.visited, q, id) {
+                    s.arena.push(Node {
                         state: q,
-                        config: cfg.clone(),
+                        cfg: id,
                         parent: None,
                     });
                 }
             }
         }
-        stats.initial_configs = arena.len();
+        s.stats.initial_configs = s.arena.len();
+        s
+    }
 
-        let mut head = 0;
-        while head < arena.len() {
-            let idx = head;
-            head += 1;
-            stats.configs_explored += 1;
-            if self.compiled.is_accepting(arena[idx].state) {
-                return self.accept(idx, &arena, stats);
-            }
-            if arena.len() > self.options.max_configs {
-                return Outcome::ResourceLimit { stats };
-            }
-            let state = arena[idx].state;
-            let config = arena[idx].config.clone();
-            for (rule_idx, rule) in self.compiled.rules().iter().enumerate() {
-                if rule.from != state {
+    /// Expands one node deterministically: for each applicable rule, obtain
+    /// the successor ids (memo, else `compute`, interned in order) and merge
+    /// them through the visited set into the arena. Both engine paths funnel
+    /// every arena/stats mutation through this function, which is what makes
+    /// them bit-identical.
+    fn merge_node(
+        &self,
+        s: &mut Search<C::Config>,
+        idx: usize,
+        compute: &mut impl FnMut(&Interner<C::Config>, ConfigId, usize) -> Vec<C::Config>,
+    ) {
+        let state = s.arena[idx].state;
+        let cfg = s.arena[idx].cfg;
+        for r in 0..self.rules_by_state[state.index()].len() {
+            let rule_idx = self.rules_by_state[state.index()][r] as usize;
+            let to = self.compiled.rules()[rule_idx].to;
+            s.stats.transitions_computed += 1;
+            let key = (cfg.0, self.guard_class[rule_idx]);
+            if self.options.transition_cache {
+                // Single probe on the hit path (the dominant case the memo
+                // exists for); `ids` borrows `s.cache` while the push below
+                // mutates the disjoint visited/arena/stats fields.
+                if let Some(ids) = s.cache.get(&key) {
+                    s.stats.transition_cache_hits += 1;
+                    push_successors(
+                        &mut s.visited,
+                        &mut s.arena,
+                        &mut s.stats,
+                        ids,
+                        to,
+                        idx,
+                        rule_idx,
+                    );
                     continue;
                 }
-                stats.transitions_computed += 1;
-                for succ in self.class.transitions(&config, &rule.guard) {
-                    if seen.insert((rule.to, succ.clone())) {
-                        arena.push(Node {
-                            state: rule.to,
-                            config: succ,
-                            parent: Some((idx, rule_idx)),
-                        });
+            }
+            let t0 = Instant::now();
+            let raw = compute(&s.interner, cfg, rule_idx);
+            s.stats.expand_ns += t0.elapsed().as_nanos() as u64;
+            let mut v = Vec::with_capacity(raw.len());
+            for succ in raw {
+                v.push(s.interner.intern(succ).0);
+            }
+            let ids: Box<[ConfigId]> = v.into();
+            push_successors(
+                &mut s.visited,
+                &mut s.arena,
+                &mut s.stats,
+                &ids,
+                to,
+                idx,
+                rule_idx,
+            );
+            if self.options.transition_cache {
+                s.cache.insert(key, ids);
+            }
+        }
+    }
+
+    /// The `threads = 1` path: today's exact exploration order (FIFO over
+    /// the arena), with interning and memoization.
+    fn run_sequential(&self) -> Outcome<C::Config> {
+        let mut s = self.init_search();
+        let mut compute = |interner: &Interner<C::Config>, cfg: ConfigId, rule_idx: usize| {
+            self.class
+                .transitions(interner.get(cfg), &self.compiled.rules()[rule_idx].guard)
+        };
+        let mut head = 0;
+        let mut level_end = 0;
+        while head < s.arena.len() {
+            if head == level_end {
+                s.stats.levels += 1;
+                level_end = s.arena.len();
+            }
+            let idx = head;
+            head += 1;
+            s.stats.configs_explored += 1;
+            if self.compiled.is_accepting(s.arena[idx].state) {
+                return self.accept(idx, &s);
+            }
+            if s.arena.len() > self.options.max_configs {
+                s.stats.unique_configs = s.interner.len();
+                return Outcome::ResourceLimit { stats: s.stats };
+            }
+            self.merge_node(&mut s, idx, &mut compute);
+        }
+        s.stats.unique_configs = s.interner.len();
+        Outcome::Empty { stats: s.stats }
+    }
+
+    /// The `threads >= 2` path: level-synchronous frontier expansion. Each
+    /// layer's uncached `(configuration, guard)` expansions are computed
+    /// speculatively by scoped workers; a sequential merge then replays the
+    /// layer in arena order, performing the identical probe/push/count
+    /// sequence as [`Engine::run_sequential`] — so every outcome, trace and
+    /// deterministic statistic is bit-identical.
+    fn run_parallel(&self, threads: usize) -> Outcome<C::Config> {
+        let mut s = self.init_search();
+        let mut level_start = 0usize;
+        loop {
+            let level_end = s.arena.len();
+            if level_start == level_end {
+                s.stats.unique_configs = s.interner.len();
+                return Outcome::Empty { stats: s.stats };
+            }
+            s.stats.levels += 1;
+
+            // Collect this layer's distinct uncached expansions, in order.
+            // The merge below returns at the layer's first accepting node,
+            // so nodes at or past it are deterministically never expanded —
+            // don't speculate on them.
+            let mut task_of: HashMap<(u32, u32), usize> = HashMap::new();
+            let mut tasks: Vec<(ConfigId, usize)> = Vec::new();
+            for node in &s.arena[level_start..level_end] {
+                if self.compiled.is_accepting(node.state) {
+                    break;
+                }
+                for &rule_idx in &self.rules_by_state[node.state.index()] {
+                    let key = (node.cfg.0, self.guard_class[rule_idx as usize]);
+                    if self.options.transition_cache && s.cache.contains_key(&key) {
+                        continue;
+                    }
+                    if let std::collections::hash_map::Entry::Vacant(e) = task_of.entry(key) {
+                        e.insert(tasks.len());
+                        tasks.push((node.cfg, rule_idx as usize));
                     }
                 }
             }
+
+            // Fan the tasks out across scoped workers (pure computation:
+            // nothing here touches the search state).
+            let mut results: Vec<Option<Vec<C::Config>>> = (0..tasks.len()).map(|_| None).collect();
+            if !tasks.is_empty() {
+                let chunk = if self.options.chunk_size > 0 {
+                    self.options.chunk_size
+                } else {
+                    tasks.len().div_ceil(threads)
+                }
+                .max(1);
+                let workers = threads.min(tasks.len().div_ceil(chunk)).max(1);
+                let cursor = AtomicUsize::new(0);
+                let busy_ns = AtomicU64::new(0);
+                let (tx, rx) = mpsc::channel::<(usize, Vec<C::Config>)>();
+                let interner = &s.interner;
+                let tasks_ref = &tasks;
+                std::thread::scope(|scope| {
+                    for _ in 0..workers {
+                        let tx = tx.clone();
+                        let cursor = &cursor;
+                        let busy_ns = &busy_ns;
+                        scope.spawn(move || {
+                            loop {
+                                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                                if start >= tasks_ref.len() {
+                                    break;
+                                }
+                                let end = (start + chunk).min(tasks_ref.len());
+                                let t0 = Instant::now();
+                                for (i, &(cfg, rule_idx)) in
+                                    tasks_ref[start..end].iter().enumerate()
+                                {
+                                    let succs = self.class.transitions(
+                                        interner.get(cfg),
+                                        &self.compiled.rules()[rule_idx].guard,
+                                    );
+                                    // Receiver outlives the scope; send only
+                                    // fails if it was dropped, which cannot
+                                    // happen while we hold `rx` below.
+                                    let _ = tx.send((start + i, succs));
+                                }
+                                busy_ns
+                                    .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                            }
+                        });
+                    }
+                    drop(tx);
+                });
+                for (i, succs) in rx {
+                    results[i] = Some(succs);
+                }
+                s.stats.expand_ns += busy_ns.load(Ordering::Relaxed);
+            }
+
+            // Deterministic merge: identical order to the sequential path.
+            let cache_on = self.options.transition_cache;
+            let mut compute = |interner: &Interner<C::Config>, cfg: ConfigId, rule_idx: usize| {
+                let key = (cfg.0, self.guard_class[rule_idx]);
+                let precomputed = match task_of.get(&key) {
+                    // With the memo on, each task is consumed exactly once
+                    // (later occurrences hit the memo); without it, clone so
+                    // repeated occurrences in this layer stay served.
+                    Some(&t) if cache_on => results[t].take(),
+                    Some(&t) => results[t].clone(),
+                    None => None,
+                };
+                precomputed.unwrap_or_else(|| {
+                    self.class
+                        .transitions(interner.get(cfg), &self.compiled.rules()[rule_idx].guard)
+                })
+            };
+            for idx in level_start..level_end {
+                s.stats.configs_explored += 1;
+                if self.compiled.is_accepting(s.arena[idx].state) {
+                    return self.accept(idx, &s);
+                }
+                if s.arena.len() > self.options.max_configs {
+                    s.stats.unique_configs = s.interner.len();
+                    return Outcome::ResourceLimit { stats: s.stats };
+                }
+                self.merge_node(&mut s, idx, &mut compute);
+            }
+            level_start = level_end;
         }
-        Outcome::Empty { stats }
     }
 
-    fn accept(
-        &self,
-        idx: usize,
-        arena: &[Node<C::Config>],
-        stats: EngineStats,
-    ) -> Outcome<C::Config> {
+    fn accept(&self, idx: usize, s: &Search<C::Config>) -> Outcome<C::Config> {
+        let mut stats = s.stats;
+        stats.unique_configs = s.interner.len();
         // Rebuild the trace root-to-accepting.
         let mut steps = Vec::new();
         let mut cur = idx;
         loop {
-            let node = &arena[cur];
+            let node = &s.arena[cur];
             steps.push(TraceStep {
                 state: node.state,
-                config: node.config.clone(),
+                config: s.interner.get(node.cfg).clone(),
                 rule: node.parent.map(|(_, r)| r),
             });
             match node.parent {
@@ -244,6 +633,7 @@ impl<'a, C: SymbolicClass> Engine<'a, C> {
         let trace = Trace { steps };
 
         let witness = if self.options.concretize {
+            let t0 = Instant::now();
             let w = self.class.concretize(&self.compiled, &trace);
             if let Some((db, run)) = &w {
                 // Certify against the reference semantics — both the
@@ -256,6 +646,7 @@ impl<'a, C: SymbolicClass> Engine<'a, C> {
                     .check_run(db, &projected, true)
                     .expect("witness fails against the original system");
             }
+            stats.certify_ns = t0.elapsed().as_nanos() as u64;
             w
         } else {
             None
@@ -441,5 +832,72 @@ mod tests {
         let class = FreeRelationalClass::new(schema);
         let outcome = Engine::new(&class, &system).run();
         assert!(outcome.is_nonempty());
+    }
+
+    /// The parallel path must agree with the sequential one bit-for-bit on
+    /// both polarity of answers (the cross-class matrix lives in the
+    /// workspace-level `tests/determinism.rs`).
+    #[test]
+    fn parallel_matches_sequential_on_example1() {
+        let schema = graph_schema();
+        let system = example1(schema.clone());
+        let class = FreeRelationalClass::new(schema);
+        let seq = Engine::new(&class, &system).run();
+        for threads in [2usize, 4] {
+            let par = Engine::new(&class, &system)
+                .with_options(EngineOptions {
+                    threads,
+                    ..EngineOptions::default()
+                })
+                .run();
+            assert_eq!(seq, par, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn transition_cache_does_not_change_outcomes() {
+        let schema = graph_schema();
+        let system = example1(schema.clone());
+        let class = FreeRelationalClass::new(schema);
+        let cached = Engine::new(&class, &system).run();
+        let uncached = Engine::new(&class, &system)
+            .with_options(EngineOptions {
+                transition_cache: false,
+                ..EngineOptions::default()
+            })
+            .run();
+        // Cache hits legitimately differ; everything else must match.
+        assert_eq!(
+            cached.stats().configs_explored,
+            uncached.stats().configs_explored
+        );
+        assert_eq!(
+            cached.stats().unique_configs,
+            uncached.stats().unique_configs
+        );
+        assert!(cached.stats().transition_cache_hits > 0);
+        assert_eq!(uncached.stats().transition_cache_hits, 0);
+        match (&cached, &uncached) {
+            (Outcome::NonEmpty { trace: a, .. }, Outcome::NonEmpty { trace: b, .. }) => {
+                assert_eq!(a, b)
+            }
+            _ => panic!("both must be non-empty"),
+        }
+    }
+
+    #[test]
+    fn resource_limit_is_deterministic_across_threads() {
+        let schema = graph_schema();
+        let system = example1(schema.clone());
+        let class = FreeRelationalClass::new(schema);
+        let opts = |threads| EngineOptions {
+            max_configs: 40,
+            threads,
+            ..EngineOptions::default()
+        };
+        let seq = Engine::new(&class, &system).with_options(opts(1)).run();
+        let par = Engine::new(&class, &system).with_options(opts(3)).run();
+        assert!(matches!(seq, Outcome::ResourceLimit { .. }) || seq.is_nonempty());
+        assert_eq!(seq, par);
     }
 }

@@ -5,7 +5,9 @@
 //! `⊗ ⟨ℕ,=⟩` product (§4.4), which reuses the block-extension enumeration
 //! implemented here.
 
-use crate::amalgam::{placement_contexts, point_patterns, AmalgamClass, Hint};
+use crate::amalgam::{
+    combined_valuation, placement_contexts, point_patterns, AmalgamClass, GuardHints,
+};
 use crate::class::Pointed;
 use dds_structure::{Element, Schema, Structure, SymbolId};
 use std::sync::Arc;
@@ -145,11 +147,15 @@ impl AmalgamClass for EquivalenceClass {
         out
     }
 
-    fn amalgams(&self, base: &Pointed, _hints: &[Hint]) -> Vec<Pointed> {
+    fn amalgams(&self, base: &Pointed, hints: &GuardHints) -> Vec<Pointed> {
         let k = base.points.len();
         let old_blocks = self.blocks_of(&base.structure);
         let mut out = Vec::new();
         for ctx in placement_contexts(&base.structure, k) {
+            let combined = combined_valuation(&base.points, &ctx.new_points);
+            if !hints.placement_allows(&combined) {
+                continue;
+            }
             for blocks in block_extensions(&old_blocks, ctx.fresh.len()) {
                 out.push(Pointed::new(
                     self.from_blocks(&blocks),
@@ -213,7 +219,7 @@ mod tests {
     fn amalgams_stay_equivalences() {
         let class = EquivalenceClass::new();
         for base in class.initial_pointed(2) {
-            for cand in class.amalgams(&base, &[]) {
+            for cand in class.amalgams(&base, &GuardHints::default()) {
                 assert!(class.is_member(&cand.structure));
             }
         }

@@ -16,7 +16,7 @@
 
 use crate::amalgam::{
     combined_valuation, enumerate_fact_subsets, hint_tuples, internal_new_tuples,
-    placement_contexts, AmalgamClass, Hint,
+    placement_contexts, AmalgamClass, GuardHints,
 };
 use crate::class::Pointed;
 use dds_structure::enumerate::StructureIter;
@@ -64,11 +64,14 @@ impl AmalgamClass for FreeRelationalClass {
         out
     }
 
-    fn amalgams(&self, base: &Pointed, hints: &[Hint]) -> Vec<Pointed> {
+    fn amalgams(&self, base: &Pointed, hints: &GuardHints) -> Vec<Pointed> {
         let k = base.points.len();
         let mut out = Vec::new();
         for ctx in placement_contexts(&base.structure, k) {
             let combined = combined_valuation(&base.points, &ctx.new_points);
+            if !hints.placement_allows(&combined) {
+                continue;
+            }
             // Universe of elements that survive into the next configuration.
             let mut np_universe: Vec<Element> = ctx.new_points.clone();
             np_universe.sort_unstable();
@@ -77,7 +80,7 @@ impl AmalgamClass for FreeRelationalClass {
                 internal_new_tuples(&self.schema, &np_universe, &ctx.fresh)
                     .into_iter()
                     .collect();
-            for t in hint_tuples(hints, &combined, &ctx.fresh) {
+            for t in hint_tuples(&hints.atoms, &combined, &ctx.fresh) {
                 optional.insert(t);
             }
             let optional: Vec<_> = optional.into_iter().collect();
@@ -163,7 +166,7 @@ mod tests {
         let class = graph_class();
         let start = class.initial_configs(1).into_iter().next().unwrap();
         let guard = Formula::True;
-        let hints = [];
+        let hints = GuardHints::default();
         for cand in class.amalgams(&start.pointed, &hints) {
             assert!(cand.structure.size() >= start.pointed.structure.size());
             // Frozen base: restriction to old elements equals the base.

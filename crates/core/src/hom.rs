@@ -18,7 +18,7 @@
 
 use crate::amalgam::{
     combined_valuation, enumerate_fact_subsets, hint_tuples, internal_new_tuples,
-    placement_contexts, AmalgamClass, Hint,
+    placement_contexts, AmalgamClass, GuardHints,
 };
 use crate::class::Pointed;
 use dds_structure::{Element, Schema, Structure, SymbolId};
@@ -165,7 +165,7 @@ impl AmalgamClass for HomClass {
         out
     }
 
-    fn amalgams(&self, base: &Pointed, hints: &[Hint]) -> Vec<Pointed> {
+    fn amalgams(&self, base: &Pointed, hints: &GuardHints) -> Vec<Pointed> {
         let k = base.points.len();
         let nh = self.template.size();
         let sigma: BTreeSet<SymbolId> = self.sigma_rels().into_iter().collect();
@@ -178,6 +178,9 @@ impl AmalgamClass for HomClass {
             .collect();
         for ctx in placement_contexts(&base.structure, k) {
             let combined = combined_valuation(&base.points, &ctx.new_points);
+            if !hints.placement_allows(&combined) {
+                continue;
+            }
             let mut np_universe: Vec<Element> = ctx.new_points.clone();
             np_universe.sort_unstable();
             np_universe.dedup();
@@ -196,7 +199,7 @@ impl AmalgamClass for HomClass {
                         optional.insert((r, t));
                     }
                 }
-                for (r, t) in hint_tuples(hints, &combined, &ctx.fresh) {
+                for (r, t) in hint_tuples(&hints.atoms, &combined, &ctx.fresh) {
                     if sigma.contains(&r) && self.tuple_compatible(r, &t, &colors) {
                         optional.insert((r, t));
                     }
@@ -297,7 +300,7 @@ mod tests {
     fn amalgams_never_leave_the_class() {
         let class = HomClass::new(two_clique());
         for start in class.initial_pointed(1) {
-            for cand in class.amalgams(&start, &[]) {
+            for cand in class.amalgams(&start, &GuardHints::default()) {
                 assert!(class.is_member(&cand.structure));
             }
         }

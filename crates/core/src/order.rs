@@ -1,5 +1,5 @@
 //! Finite linear orders (Example 3) — the setting of register automata over
-//! linearly ordered data domains (Segoufin–Toruńczyk, cited as [9]).
+//! linearly ordered data domains (Segoufin–Toruńczyk, cited as \[9\]).
 //!
 //! The class of all finite strict linear orders over the schema `{<}` is
 //! Fraïssé (its limit is `⟨ℚ,<⟩`). Amalgams are enumerated as interleavings:
@@ -9,7 +9,9 @@
 //! does not apply; instead the complete interleaving enumeration is itself
 //! polynomial per placement.
 
-use crate::amalgam::{placement_contexts, surjections, AmalgamClass, Hint};
+use crate::amalgam::{
+    combined_valuation, placement_contexts, surjections, AmalgamClass, GuardHints,
+};
 use crate::class::Pointed;
 use dds_structure::{Element, Schema, Structure, SymbolId};
 use std::sync::Arc;
@@ -116,11 +118,15 @@ impl AmalgamClass for LinearOrderClass {
         out
     }
 
-    fn amalgams(&self, base: &Pointed, _hints: &[Hint]) -> Vec<Pointed> {
+    fn amalgams(&self, base: &Pointed, hints: &GuardHints) -> Vec<Pointed> {
         let k = base.points.len();
         let old_order = self.order_of(&base.structure);
         let mut out = Vec::new();
         for ctx in placement_contexts(&base.structure, k) {
+            let combined = combined_valuation(&base.points, &ctx.new_points);
+            if !hints.placement_allows(&combined) {
+                continue;
+            }
             // Interleave the fresh elements into the old chain in every way.
             for order in interleavings(&old_order, &ctx.fresh) {
                 let s = self.chain(&order, ctx.ext.size());
@@ -188,7 +194,7 @@ mod tests {
             .into_iter()
             .find(|p| p.structure.size() == 2)
             .unwrap();
-        for cand in class.amalgams(&base, &[]) {
+        for cand in class.amalgams(&base, &GuardHints::default()) {
             assert!(class.is_member(&cand.structure), "{:?}", cand.structure);
             // Old pair keeps its orientation.
             assert!(cand.structure.holds(class.lt(), &[Element(0), Element(1)]));

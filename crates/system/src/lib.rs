@@ -27,7 +27,7 @@
 //!   of a class up to a size bound and model-check each (experiment E10's
 //!   comparator).
 //!
-//! Variable convention: register `i`'s old value is [`Var`]`(2i)` and its new
+//! Variable convention: register `i`'s old value is [`Var`](dds_logic::Var)`(2i)` and its new
 //! value is `Var(2i+1)` ([`old_var`], [`new_var`]), so extending the register
 //! set never renumbers existing guards.
 

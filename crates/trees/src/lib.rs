@@ -17,7 +17,7 @@
 //! * concrete runs, the pointer functions of §5.4 (`leftmost_q`,
 //!   `rightmost_q`, `ancestormost_Γ`, `descendantmost_Γ`), pointer closure
 //!   of node sets and the blowup measurement of Lemma 14 ([`pointers`]);
-//! * the local run characterization of Lemma 23 ([`automaton::is_run`]);
+//! * the local run characterization of Lemma 23 ([`TreeAutomaton::is_run`](automaton::TreeAutomaton::is_run));
 //! * exhaustive enumeration of accepted runs up to a size bound and the
 //!   brute-force emptiness baseline ([`baseline`]);
 //! * the symbolic [`TreeClass`] for the `dds-core` engine ([`class`]):

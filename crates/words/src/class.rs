@@ -437,6 +437,13 @@ impl WordClass {
     }
 }
 
+// The engine's parallel frontier shares the class across scoped worker
+// threads and moves successor configurations between them; both are plain
+// immutable data, which these assertions pin down at compile time.
+const fn _assert_send_sync<T: Send + Sync>() {}
+const _: () = _assert_send_sync::<WordClass>();
+const _: () = _assert_send_sync::<WordConfig>();
+
 impl SymbolicClass for WordClass {
     type Config = WordConfig;
 

@@ -70,8 +70,8 @@ pub use dds_words as words;
 /// Convenient glob-import of the most common types.
 pub mod prelude {
     pub use dds_core::{
-        DataSpec, Engine, EquivalenceClass, FreeRelationalClass, HomClass, LinearOrderClass,
-        Outcome, SymbolicClass,
+        DataClass, DataSpec, Engine, EngineOptions, EngineStats, EquivalenceClass,
+        FreeRelationalClass, HomClass, LinearOrderClass, Outcome, SymbolicClass,
     };
     pub use dds_logic::{Formula, Term, Var};
     pub use dds_structure::{Element, Schema, Structure, SymbolId};

@@ -33,7 +33,7 @@ proptest! {
         }).collect();
         let point = point % blocks.len();
         let base = equiv_pointed(&class, &blocks, &[point]);
-        for cand in class.amalgams(&base, &[]) {
+        for cand in class.amalgams(&base, &Default::default()) {
             prop_assert!(class.is_member(&cand.structure));
             // Base frozen: old blocks unchanged.
             let old = class.blocks_of(&base.structure);
@@ -56,7 +56,7 @@ proptest! {
             .find(|p| p.structure.size() == m.min(1))
             .unwrap();
         let _ = point;
-        for cand in class.amalgams(&base, &[]) {
+        for cand in class.amalgams(&base, &Default::default()) {
             prop_assert!(class.is_member(&cand.structure));
         }
     }
@@ -75,7 +75,7 @@ proptest! {
         if bits & 8 != 0 { g.add_fact(e, &[Element(1), Element(1)]).unwrap(); }
         let class = FreeRelationalClass::new(schema);
         let base = Pointed::new(g, vec![Element(0), Element(1)]);
-        for cand in class.amalgams(&base, &[]).into_iter().take(64) {
+        for cand in class.amalgams(&base, &Default::default()).into_iter().take(64) {
             let small = cand.generated();
             // Every element of the generated part is a point value.
             for el in small.structure.elements() {

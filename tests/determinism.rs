@@ -1,0 +1,200 @@
+//! The parallel frontier engine must be bit-identical to the sequential one.
+//!
+//! `Engine::run` with `threads >= 2` expands each BFS layer on scoped
+//! workers and merges deterministically; this suite pins the guarantee
+//! across every class family (free relational, `HOM`, words, trees, data
+//! products, linear orders) and both answer polarities: identical
+//! [`Outcome`] variants, witness traces, certificates, and all
+//! stats-invariant fields (`EngineStats` equality deliberately excludes the
+//! wall-clock timings).
+
+use dds::core::EngineOptions;
+use dds::prelude::*;
+
+/// Runs the engine at 1, 2, 4 and 8 workers (plus a tiny-chunk variant) and
+/// asserts every configuration produces the identical outcome.
+fn assert_deterministic<C: SymbolicClass>(class: &C, system: &System, expect_nonempty: bool)
+where
+    C::Config: PartialEq,
+{
+    let sequential = Engine::new(class, system).run();
+    assert_eq!(sequential.is_nonempty(), expect_nonempty);
+    for threads in [2usize, 4, 8] {
+        let parallel = Engine::new(class, system)
+            .with_options(EngineOptions {
+                threads,
+                ..EngineOptions::default()
+            })
+            .run();
+        assert_eq!(sequential, parallel, "threads = {threads}");
+    }
+    // Tiny chunks maximize scheduling interleavings; the merge must not care.
+    let chunky = Engine::new(class, system)
+        .with_options(EngineOptions {
+            threads: 3,
+            chunk_size: 1,
+            ..EngineOptions::default()
+        })
+        .run();
+    assert_eq!(sequential, chunky, "chunk_size = 1");
+}
+
+fn graph_schema() -> std::sync::Arc<Schema> {
+    let mut s = Schema::new();
+    s.add_relation("E", 2).unwrap();
+    s.add_relation("red", 1).unwrap();
+    s.finish()
+}
+
+fn example1(schema: std::sync::Arc<Schema>) -> System {
+    let mut b = SystemBuilder::new(schema, &["x", "y"]);
+    b.state("start").initial();
+    b.state("q0");
+    b.state("q1");
+    b.state("end").accepting();
+    b.rule(
+        "start",
+        "q0",
+        "x_old = x_new & x_new = y_old & y_old = y_new",
+    )
+    .unwrap();
+    b.rule("q0", "q1", "x_old = x_new & E(y_old, y_new) & red(y_new)")
+        .unwrap();
+    b.rule("q1", "q0", "x_old = x_new & E(y_old, y_new) & red(y_new)")
+        .unwrap();
+    b.rule("q1", "end", "x_old = x_new & x_new = y_old & y_old = y_new")
+        .unwrap();
+    b.finish().unwrap()
+}
+
+/// Template: red cycle of length `n` plus an absorbing white node.
+fn cycle_template(schema: std::sync::Arc<Schema>, n: usize) -> HomClass {
+    let e = schema.lookup("E").unwrap();
+    let red = schema.lookup("red").unwrap();
+    let mut h = Structure::new(schema, n + 1);
+    for i in 0..n {
+        h.add_fact(red, &[Element(i as u32)]).unwrap();
+        h.add_fact(e, &[Element(i as u32), Element(((i + 1) % n) as u32)])
+            .unwrap();
+    }
+    let w = Element(n as u32);
+    h.add_fact(e, &[w, w]).unwrap();
+    HomClass::new(h)
+}
+
+#[test]
+fn free_class_nonempty() {
+    let schema = graph_schema();
+    let system = example1(schema.clone());
+    let class = FreeRelationalClass::new(schema);
+    assert_deterministic(&class, &system, true);
+}
+
+#[test]
+fn hom_class_empty() {
+    // Even cycle template: no odd red cycle maps, the search exhausts.
+    let schema = graph_schema();
+    let system = example1(schema.clone());
+    let class = cycle_template(schema, 2);
+    assert_deterministic(&class, &system, false);
+}
+
+#[test]
+fn hom_class_nonempty() {
+    let schema = graph_schema();
+    let system = example1(schema.clone());
+    let class = cycle_template(schema, 1);
+    assert_deterministic(&class, &system, true);
+}
+
+#[test]
+fn word_class_nonempty() {
+    let nfa = Nfa::new(
+        vec!["a".into(), "b".into(), "c".into(), "d".into()],
+        vec![0, 1, 2, 3],
+        vec![(0, 1), (1, 2), (2, 3), (3, 0), (1, 1)],
+        vec![0],
+        vec![3],
+    )
+    .unwrap();
+    let class = WordClass::new(nfa);
+    let schema = class.schema().clone();
+    let mut b = SystemBuilder::new(schema, &["x"]);
+    b.state("s").initial();
+    b.state("t").accepting();
+    b.rule("s", "t", "x_old < x_new").unwrap();
+    let system = b.finish().unwrap();
+    assert_deterministic(&class, &system, true);
+}
+
+#[test]
+fn tree_class_both_polarities() {
+    let aut = TreeAutomaton::new(
+        vec!["r".into(), "a".into(), "b".into()],
+        vec![0, 1, 2],
+        vec![2],
+        vec![0],
+        vec![0, 1, 2],
+        vec![(1, 0), (2, 0), (1, 1), (2, 1)],
+        vec![],
+    );
+    let class = TreeClass::new(aut);
+    let schema = class.schema().clone();
+    let mut b = SystemBuilder::new(schema.clone(), &["x"]);
+    b.state("s").initial();
+    b.state("t").accepting();
+    b.rule("s", "t", "x_old <= x_new & x_old != x_new").unwrap();
+    let system = b.finish().unwrap();
+    assert_deterministic(&class, &system, true);
+
+    let mut b = SystemBuilder::new(schema, &["x"]);
+    b.state("s").initial();
+    b.state("t").accepting();
+    b.rule("s", "t", "a(x_old) & b(x_old)").unwrap();
+    let system = b.finish().unwrap();
+    assert_deterministic(&class, &system, false);
+}
+
+#[test]
+fn data_product_nonempty() {
+    let schema = graph_schema();
+    let class = DataClass::new(FreeRelationalClass::new(schema), DataSpec::rational_order());
+    let mut b = SystemBuilder::new(class.schema().clone(), &["x"]);
+    b.state("s").initial();
+    b.state("m");
+    b.state("t").accepting();
+    let guard = "E(x_old, x_new) & x_old << x_new";
+    b.rule("s", "m", guard).unwrap();
+    b.rule("m", "t", guard).unwrap();
+    let system = b.finish().unwrap();
+    assert_deterministic(&class, &system, true);
+}
+
+#[test]
+fn linear_order_nonempty() {
+    let class = LinearOrderClass::new();
+    let mut b = SystemBuilder::new(class.schema().clone(), &["x", "y"]);
+    b.state("s").initial();
+    b.state("t").accepting();
+    b.rule("s", "t", "x_old < y_old & x_old = x_new & y_old = y_new")
+        .unwrap();
+    let system = b.finish().unwrap();
+    assert_deterministic(&class, &system, true);
+}
+
+/// The `threads = 0` auto setting must also agree (it resolves to whatever
+/// the host offers, including 1).
+#[test]
+fn auto_threads_agrees() {
+    let schema = graph_schema();
+    let system = example1(schema.clone());
+    let class = FreeRelationalClass::new(schema);
+    let sequential = Engine::new(&class, &system).run();
+    let auto = Engine::new(&class, &system)
+        .with_options(EngineOptions {
+            threads: 0,
+            ..EngineOptions::default()
+        })
+        .run();
+    assert_eq!(sequential, auto);
+}
