@@ -1,0 +1,147 @@
+//! The `dds` command-line verifier.
+//!
+//! ```text
+//! dds verify [OPTIONS] FILE...   parse, lower and verify .dds specifications
+//! dds check FILE...              parse and lower only (spec linting)
+//!
+//! OPTIONS
+//!   --json            emit JSON records (the BENCH_E1_E10.json shape)
+//!   --out PATH        also write the rendered output to PATH
+//!   --threads N       engine worker threads (default 1; 0 = all cores)
+//!   --chunk-size N    parallel frontier chunk size (default auto)
+//!   --max-configs N   exploration budget (default 1000000)
+//!   --no-certify      skip witness concretization/certification
+//!   --timings         include wall-clock timings in text output
+//! ```
+//!
+//! Exit codes: `0` all properties pass, `1` a property failed (expectation
+//! mismatch or budget exhausted without a decision), `2` a spec failed to
+//! parse/lower or an I/O error occurred.
+
+use dds_cli::{load_spec, render, run_spec, RunOptions};
+use std::process::ExitCode;
+
+struct Args {
+    command: String,
+    files: Vec<String>,
+    json: bool,
+    out: Option<String>,
+    timings: bool,
+    options: RunOptions,
+}
+
+const USAGE: &str = "usage: dds <verify|check> [--json] [--out PATH] [--threads N] \
+                     [--chunk-size N] [--max-configs N] [--no-certify] [--timings] FILE...";
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut it = argv.iter();
+    let command = it.next().cloned().ok_or(USAGE)?;
+    if !matches!(command.as_str(), "verify" | "check") {
+        return Err(format!("unknown command `{command}`\n{USAGE}"));
+    }
+    let mut args = Args {
+        command,
+        files: Vec::new(),
+        json: false,
+        out: None,
+        timings: false,
+        options: RunOptions::default(),
+    };
+    let numeric = |flag: &str, value: Option<&String>| -> Result<usize, String> {
+        value
+            .ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))?
+            .parse()
+            .map_err(|_| format!("{flag} needs a number\n{USAGE}"))
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => args.json = true,
+            "--timings" => args.timings = true,
+            "--no-certify" => args.options.concretize = false,
+            "--out" => args.out = Some(it.next().ok_or("--out needs a PATH")?.clone()),
+            "--threads" => args.options.threads = numeric("--threads", it.next())?,
+            "--chunk-size" => args.options.chunk_size = numeric("--chunk-size", it.next())?,
+            "--max-configs" => args.options.max_configs = numeric("--max-configs", it.next())?,
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag `{flag}`\n{USAGE}"))
+            }
+            file => args.files.push(file.to_owned()),
+        }
+    }
+    if args.files.is_empty() {
+        return Err(format!("no input files\n{USAGE}"));
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut reports = Vec::new();
+    for path in &args.files {
+        let src = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let lowered = match load_spec(&src) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("{}", e.with_path(path));
+                return ExitCode::from(2);
+            }
+        };
+        if args.command == "check" {
+            println!(
+                "ok: {path} (system {}, {}, {} properties)",
+                lowered.name,
+                lowered.class.describe(),
+                lowered.properties.len()
+            );
+            continue;
+        }
+        reports.push(run_spec(path, &lowered, &args.options));
+    }
+    if args.command == "check" {
+        return ExitCode::SUCCESS;
+    }
+
+    let rendered = if args.json {
+        render::json(&reports)
+    } else {
+        reports
+            .iter()
+            .map(|r| render::text(r, args.timings))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    print!("{rendered}");
+    if let Some(out) = &args.out {
+        if let Err(e) = std::fs::write(out, &rendered) {
+            eprintln!("{out}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    let failed: Vec<&str> = reports
+        .iter()
+        .flat_map(|r| &r.properties)
+        .filter(|p| !p.ok())
+        .map(|p| p.id.as_str())
+        .collect();
+    if failed.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("FAILED: {}", failed.join(", "));
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,842 @@
+//! The `.dds` concrete syntax: a line-oriented, block-structured format.
+//!
+//! * `#` starts a comment running to the end of the line;
+//! * every non-blank line begins with a keyword (`system`, `schema`,
+//!   `class`, `registers`, `states`, `rule`, `property`, or a block-local
+//!   keyword);
+//! * a line ending in `{` opens a block, closed by a line containing only
+//!   `}`;
+//! * rule guards use the `dds-logic` guard grammar, either on the rule line
+//!   after `:` or inside a `rule a -> b { .. }` block (joined with spaces).
+//!
+//! The full grammar, with EBNF and a construct-by-construct reference, is in
+//! `docs/SPEC_LANGUAGE.md`. Errors carry the 1-based source line and a
+//! message from the catalogue documented there.
+
+use crate::ast::*;
+use crate::SpecError;
+
+/// A comment-stripped, non-blank source line.
+#[derive(Clone, Debug)]
+struct Line {
+    no: usize,
+    text: String,
+}
+
+fn err<T>(line: usize, msg: impl Into<String>) -> Result<T, SpecError> {
+    Err(SpecError {
+        line: Some(line),
+        msg: msg.into(),
+    })
+}
+
+/// Strips comments and blank lines, keeping 1-based line numbers.
+fn lines_of(src: &str) -> Vec<Line> {
+    src.lines()
+        .enumerate()
+        .filter_map(|(i, raw)| {
+            let text = raw.split('#').next().unwrap_or("").trim();
+            (!text.is_empty()).then(|| Line {
+                no: i + 1,
+                text: text.to_owned(),
+            })
+        })
+        .collect()
+}
+
+/// Splits a line into its leading keyword and the rest.
+fn keyword(line: &Line) -> (&str, &str) {
+    match line.text.split_once(char::is_whitespace) {
+        Some((kw, rest)) => (kw, rest.trim()),
+        None => (line.text.as_str(), ""),
+    }
+}
+
+/// Whitespace-separated words, with stray commas tolerated (`a, b` == `a b`).
+fn words(rest: &str) -> Vec<String> {
+    rest.split([' ', '\t', ','])
+        .filter(|w| !w.is_empty())
+        .map(str::to_owned)
+        .collect()
+}
+
+/// A single identifier: ASCII alphanumerics, `_`, `-`, `.` and `'`.
+fn ident(line: usize, rest: &str, what: &str) -> Result<String, SpecError> {
+    let ws = words(rest);
+    if ws.len() != 1 {
+        return err(line, format!("expected exactly one {what}, found `{rest}`"));
+    }
+    let w = &ws[0];
+    if w.chars()
+        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '.' || c == '\'')
+    {
+        Ok(w.clone())
+    } else {
+        err(line, format!("`{w}` is not a valid {what}"))
+    }
+}
+
+/// Like [`words`], tagging each word with the line it came from.
+fn named(line: usize, rest: &str) -> Vec<NameRef> {
+    words(rest).into_iter().map(|w| (w, line)).collect()
+}
+
+/// Parses `p->q` pairs (whitespace-separated, no spaces inside a pair),
+/// tagging each with its source line.
+fn arrow_pairs(line: usize, rest: &str) -> Result<Vec<PairRef>, SpecError> {
+    words(rest)
+        .iter()
+        .map(|w| match w.split_once("->") {
+            Some((p, q)) if !p.is_empty() && !q.is_empty() => {
+                Ok((p.to_owned(), q.to_owned(), line))
+            }
+            _ => err(line, format!("expected `p->q` pairs, found `{w}`")),
+        })
+        .collect()
+}
+
+/// Cursor over the line list with block extraction.
+struct Cursor {
+    lines: Vec<Line>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn next(&mut self) -> Option<Line> {
+        let l = self.lines.get(self.pos).cloned();
+        if l.is_some() {
+            self.pos += 1;
+        }
+        l
+    }
+
+    /// Collects the lines of a block just opened by a `.. {` line, consuming
+    /// the closing `}`. Nested blocks stay inside the returned slice.
+    fn block(&mut self, opened_at: usize) -> Result<Vec<Line>, SpecError> {
+        let mut depth = 1usize;
+        let mut out = Vec::new();
+        while let Some(l) = self.next() {
+            if l.text == "}" {
+                depth -= 1;
+                if depth == 0 {
+                    return Ok(out);
+                }
+            } else if l.text.ends_with('{') {
+                depth += 1;
+            } else if l.text.contains(['{', '}']) {
+                return err(l.no, "`{` may only end a line and `}` must stand alone");
+            }
+            out.push(l);
+        }
+        err(opened_at, "unclosed `{` block (missing `}`)")
+    }
+}
+
+/// Parses one `.dds` file into a [`Spec`].
+pub fn parse_spec(src: &str) -> Result<Spec, SpecError> {
+    let mut cur = Cursor {
+        lines: lines_of(src),
+        pos: 0,
+    };
+    let mut name: Option<String> = None;
+    let mut schema: Option<Vec<SchemaDecl>> = None;
+    let mut class: Option<ClassDecl> = None;
+    let mut registers: Option<Vec<String>> = None;
+    let mut registers_line = 0usize;
+    let mut states: Vec<StateDecl> = Vec::new();
+    let mut rules: Vec<RuleDecl> = Vec::new();
+    let mut properties: Vec<PropertyDecl> = Vec::new();
+
+    while let Some(line) = cur.next() {
+        let (kw, rest) = keyword(&line);
+        match kw {
+            "system" => {
+                if name.is_some() {
+                    return err(line.no, "duplicate `system` declaration");
+                }
+                name = Some(ident(line.no, rest, "system name")?);
+            }
+            "schema" => {
+                if schema.is_some() {
+                    return err(line.no, "duplicate `schema` block");
+                }
+                if rest != "{" {
+                    return err(line.no, "expected `schema {`");
+                }
+                schema = Some(parse_schema(cur.block(line.no)?)?);
+            }
+            "class" => {
+                if class.is_some() {
+                    return err(line.no, "duplicate `class` declaration");
+                }
+                class = Some(parse_class(&mut cur, line.no, rest)?);
+            }
+            "registers" => {
+                if registers.is_some() {
+                    return err(line.no, "duplicate `registers` declaration");
+                }
+                let regs = words(rest);
+                if regs.is_empty() {
+                    return err(line.no, "`registers` needs at least one register name");
+                }
+                registers = Some(regs);
+                registers_line = line.no;
+            }
+            "states" => {
+                if !states.is_empty() {
+                    return err(line.no, "duplicate `states` block");
+                }
+                if rest != "{" {
+                    return err(line.no, "expected `states {`");
+                }
+                for l in cur.block(line.no)? {
+                    let mut ws = words(&l.text);
+                    if ws.is_empty() {
+                        continue;
+                    }
+                    let name = ws.remove(0);
+                    let mut initial = false;
+                    for w in ws {
+                        match w.as_str() {
+                            "init" => initial = true,
+                            other => {
+                                return err(
+                                    l.no,
+                                    format!("unknown state marker `{other}` (only `init`)"),
+                                )
+                            }
+                        }
+                    }
+                    states.push(StateDecl {
+                        name,
+                        initial,
+                        line: l.no,
+                    });
+                }
+            }
+            "rule" => rules.push(parse_rule(&mut cur, line.no, rest)?),
+            "property" => properties.push(parse_property(&mut cur, line.no, rest)?),
+            other => {
+                return err(
+                    line.no,
+                    format!(
+                        "unknown top-level keyword `{other}` (expected `system`, `schema`, \
+                         `class`, `registers`, `states`, `rule` or `property`)"
+                    ),
+                )
+            }
+        }
+    }
+
+    let Some(name) = name else {
+        return err(1, "missing `system <name>` declaration");
+    };
+    let Some(class) = class else {
+        return err(1, format!("system `{name}` has no `class` declaration"));
+    };
+    if properties.is_empty() {
+        return err(1, format!("system `{name}` declares no `property`"));
+    }
+    Ok(Spec {
+        name,
+        schema,
+        class,
+        registers: registers.unwrap_or_default(),
+        registers_line,
+        states,
+        rules,
+        properties,
+    })
+}
+
+fn parse_schema(block: Vec<Line>) -> Result<Vec<SchemaDecl>, SpecError> {
+    let mut out = Vec::new();
+    for l in block {
+        let (kw, rest) = keyword(&l);
+        let function = match kw {
+            "relation" => false,
+            "function" => true,
+            other => {
+                return err(
+                    l.no,
+                    format!("expected `relation <name>/<arity>` or `function <name>/<arity>`, found `{other}`"),
+                )
+            }
+        };
+        let Some((name, arity)) = rest.split_once('/') else {
+            return err(l.no, format!("expected `<name>/<arity>`, found `{rest}`"));
+        };
+        let arity: usize = arity.trim().parse().map_err(|_| SpecError {
+            line: Some(l.no),
+            msg: format!("`{}` is not a valid arity", arity.trim()),
+        })?;
+        out.push(SchemaDecl {
+            name: name.trim().to_owned(),
+            arity,
+            function,
+            line: l.no,
+        });
+    }
+    Ok(out)
+}
+
+/// Parses `R(a, b)`-shaped facts.
+fn parse_fact(l: &Line, rest: &str) -> Result<FactDecl, SpecError> {
+    let Some((relation, args)) = rest.split_once('(') else {
+        return err(l.no, format!("expected `fact R(a, ..)`, found `{rest}`"));
+    };
+    let Some(args) = args.strip_suffix(')') else {
+        return err(l.no, format!("missing closing `)` in fact `{rest}`"));
+    };
+    Ok(FactDecl {
+        relation: relation.trim().to_owned(),
+        args: words(args),
+        line: l.no,
+    })
+}
+
+fn parse_class(cur: &mut Cursor, at: usize, rest: &str) -> Result<ClassDecl, SpecError> {
+    let (head, brace) = match rest.strip_suffix('{') {
+        Some(h) => (h.trim(), true),
+        None => (rest, false),
+    };
+    let block = if brace { cur.block(at)? } else { Vec::new() };
+    parse_class_body(at, head, block)
+}
+
+fn parse_class_body(at: usize, head: &str, block: Vec<Line>) -> Result<ClassDecl, SpecError> {
+    let no_block = |kind: &str, block: &[Line]| -> Result<(), SpecError> {
+        match block.first() {
+            Some(l) => err(l.no, format!("`class {kind}` takes no block")),
+            None => Ok(()),
+        }
+    };
+    match head {
+        "free" => {
+            no_block("free", &block)?;
+            Ok(ClassDecl::Free)
+        }
+        "linear-order" => {
+            no_block("linear-order", &block)?;
+            Ok(ClassDecl::LinearOrder)
+        }
+        "equivalence" => {
+            no_block("equivalence", &block)?;
+            Ok(ClassDecl::Equivalence)
+        }
+        "hom" => parse_hom(at, block),
+        "words" => parse_words(at, block),
+        "trees" => parse_trees(at, block),
+        "data" => parse_data(at, block),
+        "counter" => parse_counter(block),
+        other => err(
+            at,
+            format!(
+                "unknown class `{other}` (expected `free`, `hom`, `linear-order`, \
+                 `equivalence`, `words`, `trees`, `data` or `counter`)"
+            ),
+        ),
+    }
+}
+
+fn parse_hom(at: usize, block: Vec<Line>) -> Result<ClassDecl, SpecError> {
+    let mut elements = Vec::new();
+    let mut facts = Vec::new();
+    for l in &block {
+        let (kw, rest) = keyword(l);
+        match kw {
+            "element" | "elements" => elements.extend(named(l.no, rest)),
+            "fact" => facts.push(parse_fact(l, rest)?),
+            other => {
+                return err(
+                    l.no,
+                    format!("unknown `class hom` item `{other}` (expected `element` or `fact`)"),
+                )
+            }
+        }
+    }
+    if elements.is_empty() {
+        return err(at, "`class hom` template needs at least one `element`");
+    }
+    Ok(ClassDecl::Hom { elements, facts })
+}
+
+fn parse_words(at: usize, block: Vec<Line>) -> Result<ClassDecl, SpecError> {
+    let mut letters = Vec::new();
+    let mut states = Vec::new();
+    let mut edges = Vec::new();
+    let mut entry = Vec::new();
+    let mut accepting = Vec::new();
+    for l in &block {
+        let (kw, rest) = keyword(l);
+        match kw {
+            "letters" => letters.extend(words(rest)),
+            "state" => states.push(parse_reads(l, rest, "letter")?),
+            "edge" | "edges" => edges.extend(arrow_pairs(l.no, rest)?),
+            "entry" => entry.extend(named(l.no, rest)),
+            "final" => accepting.extend(named(l.no, rest)),
+            other => {
+                return err(
+                    l.no,
+                    format!(
+                        "unknown `class words` item `{other}` (expected `letters`, `state`, \
+                         `edges`, `entry` or `final`)"
+                    ),
+                )
+            }
+        }
+    }
+    if letters.is_empty() {
+        return err(at, "`class words` needs a `letters` line");
+    }
+    Ok(ClassDecl::Words {
+        letters,
+        states,
+        edges,
+        entry,
+        accepting,
+    })
+}
+
+/// Parses `state <name> reads <letter>`.
+fn parse_reads(l: &Line, rest: &str, what: &str) -> Result<ReadsDecl, SpecError> {
+    let ws = words(rest);
+    match ws.as_slice() {
+        [state, kw, reads] if kw == "reads" => Ok(ReadsDecl {
+            state: state.clone(),
+            reads: reads.clone(),
+            line: l.no,
+        }),
+        _ => err(l.no, format!("expected `state <name> reads <{what}>`")),
+    }
+}
+
+fn parse_trees(at: usize, block: Vec<Line>) -> Result<ClassDecl, SpecError> {
+    let mut labels = Vec::new();
+    let mut states = Vec::new();
+    let mut leaf = Vec::new();
+    let mut root = Vec::new();
+    let mut rightmost = Vec::new();
+    let mut first_child = Vec::new();
+    let mut next_sibling = Vec::new();
+    for l in &block {
+        let (kw, rest) = keyword(l);
+        match kw {
+            "labels" => labels.extend(words(rest)),
+            "state" => states.push(parse_reads(l, rest, "label")?),
+            "leaf" => leaf.extend(named(l.no, rest)),
+            "root" => root.extend(named(l.no, rest)),
+            "rightmost" => rightmost.extend(named(l.no, rest)),
+            "first-child" => first_child.extend(arrow_pairs(l.no, rest)?),
+            "next-sibling" => next_sibling.extend(arrow_pairs(l.no, rest)?),
+            other => {
+                return err(
+                    l.no,
+                    format!(
+                        "unknown `class trees` item `{other}` (expected `labels`, `state`, \
+                         `leaf`, `root`, `rightmost`, `first-child` or `next-sibling`)"
+                    ),
+                )
+            }
+        }
+    }
+    if labels.is_empty() {
+        return err(at, "`class trees` needs a `labels` line");
+    }
+    Ok(ClassDecl::Trees {
+        labels,
+        states,
+        leaf,
+        root,
+        rightmost,
+        first_child,
+        next_sibling,
+    })
+}
+
+fn parse_data(at: usize, block: Vec<Line>) -> Result<ClassDecl, SpecError> {
+    let mut values = None;
+    let mut inner = None;
+    let mut cur = Cursor {
+        lines: block,
+        pos: 0,
+    };
+    while let Some(l) = cur.next() {
+        let (kw, rest) = keyword(&l);
+        match kw {
+            "values" => {
+                values = Some(match rest {
+                    "nat-eq" => DataValues::NatEq,
+                    "nat-eq-injective" => DataValues::NatEqInjective,
+                    "rational-order" => DataValues::RationalOrder,
+                    "rational-order-injective" => DataValues::RationalOrderInjective,
+                    other => {
+                        return err(
+                            l.no,
+                            format!(
+                                "unknown data values `{other}` (expected `nat-eq`, \
+                                 `nat-eq-injective`, `rational-order` or \
+                                 `rational-order-injective`)"
+                            ),
+                        )
+                    }
+                })
+            }
+            "over" => {
+                let decl = parse_class(&mut cur, l.no, rest)?;
+                match &decl {
+                    ClassDecl::Free
+                    | ClassDecl::Hom { .. }
+                    | ClassDecl::LinearOrder
+                    | ClassDecl::Equivalence => inner = Some(decl),
+                    other => {
+                        return err(
+                            l.no,
+                            format!(
+                                "`class data` cannot wrap `{}` (inner class must be `free`, \
+                                 `hom`, `linear-order` or `equivalence`)",
+                                other.keyword()
+                            ),
+                        )
+                    }
+                }
+            }
+            other => {
+                return err(
+                    l.no,
+                    format!("unknown `class data` item `{other}` (expected `values` or `over`)"),
+                )
+            }
+        }
+    }
+    let Some(values) = values else {
+        return err(at, "`class data` needs a `values` line");
+    };
+    let Some(inner) = inner else {
+        return err(at, "`class data` needs an `over <class>` line");
+    };
+    Ok(ClassDecl::Data {
+        values,
+        inner: Box::new(inner),
+    })
+}
+
+fn parse_counter(block: Vec<Line>) -> Result<ClassDecl, SpecError> {
+    let counter_idx = |l: &Line, w: &str| -> Result<usize, SpecError> {
+        match w {
+            "c0" => Ok(0),
+            "c1" => Ok(1),
+            other => err(
+                l.no,
+                format!("expected counter `c0` or `c1`, found `{other}`"),
+            ),
+        }
+    };
+    let loc = |l: &Line, w: &str| -> Result<usize, SpecError> {
+        w.parse().map_err(|_| SpecError {
+            line: Some(l.no),
+            msg: format!("`{w}` is not a valid program location"),
+        })
+    };
+    let mut program = Vec::new();
+    for l in &block {
+        let ws = words(&l.text);
+        match ws.first().map(String::as_str) {
+            Some("inc") if ws.len() == 3 => program.push((
+                InstrDecl::Inc {
+                    counter: counter_idx(l, &ws[1])?,
+                    next: loc(l, &ws[2])?,
+                },
+                l.no,
+            )),
+            Some("jzdec") if ws.len() == 4 => program.push((
+                InstrDecl::JzDec {
+                    counter: counter_idx(l, &ws[1])?,
+                    if_zero: loc(l, &ws[2])?,
+                    if_pos: loc(l, &ws[3])?,
+                },
+                l.no,
+            )),
+            Some("halt") if ws.len() == 1 => program.push((InstrDecl::Halt, l.no)),
+            _ => {
+                return err(
+                    l.no,
+                    format!(
+                        "invalid counter instruction `{}` (expected `inc c<i> <next>`, \
+                         `jzdec c<i> <if_zero> <if_pos>` or `halt`)",
+                        l.text
+                    ),
+                )
+            }
+        }
+    }
+    Ok(ClassDecl::Counter { program })
+}
+
+fn parse_rule(cur: &mut Cursor, at: usize, rest: &str) -> Result<RuleDecl, SpecError> {
+    // `rule a -> b: guard` or `rule a -> b {` .. `}`.
+    let (head, guard) = match rest.split_once(':') {
+        Some((head, guard)) => (head.trim().to_owned(), guard.trim().to_owned()),
+        None => match rest.strip_suffix('{') {
+            Some(head) => {
+                let body = cur.block(at)?;
+                let guard = body
+                    .iter()
+                    .map(|l| l.text.as_str())
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                (head.trim().to_owned(), guard)
+            }
+            None => {
+                return err(
+                    at,
+                    "expected `rule <from> -> <to>: <guard>` or `rule <from> -> <to> {`",
+                )
+            }
+        },
+    };
+    let ws = words(&head);
+    match ws.as_slice() {
+        [from, arrow, to] if arrow == "->" => {
+            if guard.is_empty() {
+                return err(at, format!("rule `{from} -> {to}` has an empty guard"));
+            }
+            Ok(RuleDecl {
+                from: from.clone(),
+                to: to.clone(),
+                guard,
+                line: at,
+            })
+        }
+        _ => err(
+            at,
+            format!("expected `<from> -> <to>` before the guard, found `{head}`"),
+        ),
+    }
+}
+
+fn parse_property(cur: &mut Cursor, at: usize, rest: &str) -> Result<PropertyDecl, SpecError> {
+    let Some(head) = rest.strip_suffix('{') else {
+        return err(at, "expected `property <name> {`");
+    };
+    let name = ident(at, head.trim(), "property name")?;
+    let mut kind_word: Option<(String, usize)> = None;
+    let mut accept = Vec::new();
+    let mut expect = None;
+    let mut tree = None;
+    let mut targets = Vec::new();
+    let mut bound = None;
+    for l in cur.block(at)? {
+        let (kw, rest) = keyword(&l);
+        match kw {
+            "kind" => kind_word = Some((rest.to_owned(), l.no)),
+            "accept" => accept.extend(words(rest)),
+            "expect" => {
+                let valid = matches!(
+                    rest,
+                    "nonempty" | "empty" | "resource-limit" | "ok" | "halts" | "open"
+                ) || rest
+                    .strip_prefix("ratio_x1000=")
+                    .is_some_and(|n| !n.is_empty() && n.bytes().all(|b| b.is_ascii_digit()));
+                if !valid {
+                    return err(
+                        l.no,
+                        format!(
+                            "unknown expected outcome `{rest}` (expected `nonempty`, `empty`, \
+                             `resource-limit`, `ok`, `halts`, `open` or `ratio_x1000=<n>`)"
+                        ),
+                    );
+                }
+                expect = Some(rest.to_owned());
+            }
+            "tree" => tree = Some(rest.to_owned()),
+            "targets" => {
+                for w in words(rest) {
+                    targets.push(w.parse().map_err(|_| SpecError {
+                        line: Some(l.no),
+                        msg: format!("`{w}` is not a valid node index"),
+                    })?);
+                }
+            }
+            "bound" => {
+                bound = Some(rest.parse().map_err(|_| SpecError {
+                    line: Some(l.no),
+                    msg: format!("`{rest}` is not a valid bound"),
+                })?)
+            }
+            other => {
+                return err(
+                    l.no,
+                    format!(
+                        "unknown property item `{other}` (expected `kind`, `accept`, \
+                         `expect`, `tree`, `targets` or `bound`)"
+                    ),
+                )
+            }
+        }
+    }
+    let kind = match kind_word.as_ref().map(|(w, n)| (w.as_str(), *n)) {
+        None | Some(("reach", _)) => {
+            if accept.is_empty() {
+                return err(at, format!("property `{name}` needs an `accept` line"));
+            }
+            PropertyKind::Reach { accept }
+        }
+        Some(("elim", _)) => PropertyKind::Elim { accept },
+        Some(("blowup", n)) => {
+            let Some(tree) = tree else {
+                return err(
+                    n,
+                    format!("property `{name}` of kind blowup needs a `tree` line"),
+                );
+            };
+            if targets.is_empty() {
+                return err(
+                    n,
+                    format!("property `{name}` of kind blowup needs `targets`"),
+                );
+            }
+            PropertyKind::Blowup { tree, targets }
+        }
+        Some(("bounded-halt", n)) => {
+            let Some(bound) = bound else {
+                return err(
+                    n,
+                    format!("property `{name}` of kind bounded-halt needs a `bound`"),
+                );
+            };
+            PropertyKind::BoundedHalt { bound }
+        }
+        Some((other, n)) => {
+            return err(
+                n,
+                format!(
+                    "unknown property kind `{other}` (expected `reach`, `elim`, `blowup` \
+                     or `bounded-halt`)"
+                ),
+            )
+        }
+    };
+    Ok(PropertyDecl {
+        name,
+        kind,
+        expect,
+        line: at,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_minimal_free_spec() {
+        let spec = parse_spec(
+            r#"
+            # Example 1, abridged.
+            system demo
+            schema {
+              relation E/2
+            }
+            class free
+            registers x
+            states {
+              s init
+              t
+            }
+            rule s -> t: E(x_old, x_new)
+            property reach {
+              accept t
+              expect nonempty
+            }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(spec.name, "demo");
+        assert_eq!(spec.registers, vec!["x"]);
+        assert_eq!(spec.states.len(), 2);
+        assert!(spec.states[0].initial);
+        assert_eq!(spec.rules[0].guard, "E(x_old, x_new)");
+        assert_eq!(
+            spec.properties[0].kind,
+            PropertyKind::Reach {
+                accept: vec!["t".into()]
+            }
+        );
+        assert_eq!(spec.properties[0].expect.as_deref(), Some("nonempty"));
+    }
+
+    #[test]
+    fn parses_multiline_rule_guards() {
+        let spec = parse_spec(
+            r#"
+            system demo
+            schema {
+              relation E/2
+            }
+            class free
+            registers x
+            states {
+              s init
+            }
+            rule s -> s {
+              E(x_old, x_new) &
+              x_old != x_new
+            }
+            property p {
+              accept s
+            }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(spec.rules[0].guard, "E(x_old, x_new) & x_old != x_new");
+    }
+
+    #[test]
+    fn parses_nested_data_class() {
+        let spec = parse_spec(
+            r#"
+            system demo
+            schema {
+              relation placed/1
+            }
+            class data {
+              values nat-eq-injective
+              over hom {
+                element a
+                fact placed(a)
+              }
+            }
+            registers o
+            states {
+              s init
+            }
+            property p {
+              accept s
+            }
+            "#,
+        )
+        .unwrap();
+        match spec.class {
+            ClassDecl::Data { values, inner } => {
+                assert_eq!(values, DataValues::NatEqInjective);
+                assert!(matches!(*inner, ClassDecl::Hom { .. }));
+            }
+            other => panic!("unexpected class: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reports_unknown_keyword_with_line() {
+        let e = parse_spec("system demo\nclass free\nfrobnicate now\n").unwrap_err();
+        assert_eq!(e.line, Some(3));
+        assert!(e.msg.contains("frobnicate"));
+    }
+
+    #[test]
+    fn reports_unclosed_block() {
+        let e = parse_spec("system demo\nstates {\n  s init\n").unwrap_err();
+        assert_eq!(e.line, Some(2));
+        assert!(e.msg.contains("unclosed"));
+    }
+}

@@ -1,0 +1,111 @@
+//! Rendering reports: human-readable text and `BENCH_E1_E10.json`-shaped
+//! JSON records.
+
+use crate::runner::SpecReport;
+use std::fmt::Write as _;
+
+/// Renders one spec report as text.
+///
+/// Everything printed is deterministic (outcomes, traces, witnesses, the
+/// deterministic `EngineStats` counters); wall-clock timings are appended
+/// only with `timings` — the golden suite pins the `timings = false` form.
+pub fn text(report: &SpecReport, timings: bool) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== {}: system {} ({})",
+        report.path, report.system, report.header
+    );
+    for p in &report.properties {
+        let verdict = match (&p.expect, p.pass) {
+            (Some(want), Some(true)) => format!("  [expect {want}: PASS]"),
+            (Some(want), _) => format!("  [expect {want}: FAIL]"),
+            (None, Some(false)) => "  [FAIL]".into(),
+            (None, _) => String::new(),
+        };
+        let _ = writeln!(out, "property {}: {}{verdict}", p.id, p.outcome);
+        if let Some(s) = &p.stats {
+            let _ = writeln!(
+                out,
+                "  stats: explored={} unique={} transitions={} cache_hits={} dedup={}/{} levels={} initial={}",
+                s.configs_explored,
+                s.unique_configs,
+                s.transitions_computed,
+                s.transition_cache_hits,
+                s.dedup_hits,
+                s.dedup_probes,
+                s.levels,
+                s.initial_configs,
+            );
+        }
+        if let Some(t) = &p.trace {
+            let _ = writeln!(out, "  trace: {t}");
+        }
+        if let Some(db) = &p.witness_db {
+            let _ = writeln!(out, "  witness database: {db}");
+        }
+        if let Some(run) = &p.witness_run {
+            let _ = writeln!(out, "  witness run: {run}");
+        }
+        if timings {
+            let _ = writeln!(out, "  wall_ns: {}", p.wall_ns);
+        }
+    }
+    out
+}
+
+/// Renders reports as a JSON array of
+/// `{"id", "wall_ns", "configs_explored", "outcome"}` records — the exact
+/// shape `BENCH_E1_E10.json` uses, so the two files are interchangeable for
+/// downstream consumers.
+pub fn json(reports: &[SpecReport]) -> String {
+    let records: Vec<&crate::runner::PropertyReport> =
+        reports.iter().flat_map(|r| &r.properties).collect();
+    let mut s = String::from("[\n");
+    for (i, p) in records.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "  {{\"id\":\"{}\",\"wall_ns\":{},\"configs_explored\":{},\"outcome\":\"{}\"}}{}",
+            p.id,
+            p.wall_ns,
+            p.configs_explored,
+            p.outcome,
+            if i + 1 == records.len() { "" } else { "," }
+        );
+    }
+    s.push_str("]\n");
+    s
+}
+
+/// Zeroes the `wall_ns` fields of a rendered JSON string — the normalization
+/// the golden suite applies so measurements never flap snapshots.
+pub fn normalize_wall_ns(json: &str) -> String {
+    let mut out = String::with_capacity(json.len());
+    let mut rest = json;
+    while let Some(at) = rest.find("\"wall_ns\":") {
+        let end = at + "\"wall_ns\":".len();
+        out.push_str(&rest[..end]);
+        rest = &rest[end..];
+        let digits = rest
+            .find(|c: char| !c.is_ascii_digit())
+            .unwrap_or(rest.len());
+        out.push('0');
+        rest = &rest[digits..];
+    }
+    out.push_str(rest);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_zeroes_every_wall_ns() {
+        let s = "[{\"id\":\"a\",\"wall_ns\":123456,\"x\":1},{\"wall_ns\":9}]";
+        assert_eq!(
+            normalize_wall_ns(s),
+            "[{\"id\":\"a\",\"wall_ns\":0,\"x\":1},{\"wall_ns\":0}]"
+        );
+    }
+}

@@ -19,6 +19,12 @@
 //! parser ([`parse`]) used by builders/examples/tests, and transformations
 //! ([`transform`]): negation normal form, atom collection, variable renaming
 //! and existential prenexing.
+//!
+//! **Paper coverage:** §2 (the guard logic: quantifier-free and existential
+//! first-order formulas over a database schema) and the formula side of
+//! Fact 2 (existential prenexing, compiled away by `dds-system`).
+
+#![warn(missing_docs)]
 
 pub mod error;
 pub mod eval;

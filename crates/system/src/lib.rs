@@ -30,6 +30,12 @@
 //! Variable convention: register `i`'s old value is [`Var`](dds_logic::Var)`(2i)` and its new
 //! value is `Var(2i+1)` ([`old_var`], [`new_var`]), so extending the register
 //! set never renumbers existing guards.
+//!
+//! **Paper coverage:** §2 (database-driven systems, configurations, runs,
+//! the emptiness problem) and Fact 2 (elimination of existential guards
+//! into extra registers).
+
+#![warn(missing_docs)]
 
 pub mod baseline;
 pub mod elim;

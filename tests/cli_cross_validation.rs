@@ -1,0 +1,464 @@
+//! Cross-validation: every ported spec in `specs/` must reproduce its
+//! programmatic builder **bit-for-bit** — the same `System` (state names,
+//! registers, rule order, guard formulas), the same engine outcome, and the
+//! same deterministic `EngineStats` (so `configs_explored` counts match the
+//! E1–E10 records in `BENCH_E1_E10.json` exactly).
+//!
+//! This is the CI `specs` job's drift gate: changing either side (a spec or
+//! a builder) without the other fails here, not in production.
+
+use dds::prelude::*;
+use dds_bench::{chain_system, cycle_template, example1, graph_schema};
+use dds_cli::{Lowered, RunOptions, Task};
+use dds_reductions::counter::{CounterMachine, Instr};
+use dds_reductions::lemma1::{lemma1_system, LinearTm};
+use dds_reductions::words_succ;
+use dds_system::{eliminate_existentials, StateId};
+use dds_trees::pointers::{blowup_ratio, run_pointers};
+use dds_trees::tree::Tree;
+use std::path::PathBuf;
+
+fn load(rel: &str) -> Lowered {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(rel);
+    let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{rel}: {e}"));
+    dds_cli::load_spec(&src).unwrap_or_else(|e| panic!("{}", e.with_path(rel)))
+}
+
+fn reach_system(lowered: &Lowered, prop: usize) -> &System {
+    match &lowered.properties[prop].task {
+        Task::Reach(s) => s,
+        other => panic!("property {prop} is not a reach property: {other:?}"),
+    }
+}
+
+/// The strong form of "same system": every observable component equal,
+/// including the parsed guard formulas rule-for-rule.
+fn assert_same_system(spec: &System, want: &System, what: &str) {
+    assert_eq!(spec.schema(), want.schema(), "{what}: schema");
+    assert_eq!(spec.num_states(), want.num_states(), "{what}: state count");
+    for i in 0..spec.num_states() {
+        let q = StateId(i as u32);
+        assert_eq!(spec.state_name(q), want.state_name(q), "{what}: state {i}");
+    }
+    assert_eq!(
+        spec.num_registers(),
+        want.num_registers(),
+        "{what}: register count"
+    );
+    for i in 0..spec.num_registers() {
+        assert_eq!(
+            spec.register_name(i),
+            want.register_name(i),
+            "{what}: register {i}"
+        );
+    }
+    assert_eq!(spec.initial(), want.initial(), "{what}: initial states");
+    assert_eq!(
+        spec.accepting(),
+        want.accepting(),
+        "{what}: accepting states"
+    );
+    assert_eq!(spec.rules(), want.rules(), "{what}: rules");
+}
+
+/// Runs the spec's reach property and the programmatic engine and compares
+/// outcome strings plus the full deterministic statistics.
+fn assert_same_run<C: SymbolicClass>(rel: &str, prop: usize, class: &C, want_system: &System) {
+    let lowered = load(rel);
+    assert_same_system(reach_system(&lowered, prop), want_system, rel);
+    let report = dds_cli::run_spec(rel, &lowered, &RunOptions::default());
+    let p = &report.properties[prop];
+    let outcome = Engine::new(class, want_system).run();
+    let want_outcome = match &outcome {
+        Outcome::Empty { .. } => "empty",
+        Outcome::NonEmpty { .. } => "nonempty",
+        Outcome::ResourceLimit { .. } => "resource-limit",
+    };
+    assert_eq!(p.outcome, want_outcome, "{rel}: outcome");
+    assert_eq!(
+        p.stats.expect("reach properties carry stats"),
+        *outcome.stats(),
+        "{rel}: deterministic engine statistics"
+    );
+}
+
+#[test]
+fn e1_matches_the_lemma1_builder() {
+    let want = lemma1_system(&LinearTm::flip_and_check(), 2);
+    let class = FreeRelationalClass::new(want.schema().clone());
+    assert_same_run("specs/e1.dds", 0, &class, &want);
+}
+
+#[test]
+fn e2_matches_the_programmatic_elimination() {
+    let mut sc = dds::structure::Schema::new();
+    sc.add_relation("E", 2).unwrap();
+    let schema = sc.finish();
+    let n = 256usize;
+    let names: Vec<String> = (0..n).map(|i| format!("z{i}")).collect();
+    let mut parts = vec!["E(x_old, z0)".to_owned()];
+    for i in 1..n {
+        parts.push(format!("E(z{}, z{})", i - 1, i));
+    }
+    let guard = format!("exists {} . {}", names.join(" "), parts.join(" & "));
+    let mut b = SystemBuilder::new(schema, &["x"]);
+    b.state("s").initial().accepting();
+    b.rule("s", "s", &guard).unwrap();
+    let want = b.finish().unwrap();
+
+    let lowered = load("specs/e2.dds");
+    let Task::Elim(spec) = &lowered.properties[0].task else {
+        panic!("e2 must be an elim property");
+    };
+    assert_same_system(spec, &want, "specs/e2.dds");
+    let spec_compiled = eliminate_existentials(spec).unwrap();
+    let want_compiled = eliminate_existentials(&want).unwrap();
+    assert_eq!(spec_compiled.num_registers(), want_compiled.num_registers());
+    assert_eq!(spec_compiled.rules(), want_compiled.rules());
+    assert_eq!(
+        dds_cli::run_spec("specs/e2.dds", &lowered, &RunOptions::default()).properties[0].outcome,
+        "ok"
+    );
+}
+
+#[test]
+fn e3_matches_the_hom_cycle3_experiment() {
+    let schema = graph_schema();
+    let want = example1(schema.clone());
+    let class = cycle_template(schema, 3);
+    // The spec's template must be the same structure, not just any
+    // equivalent one.
+    let lowered = load("specs/e3.dds");
+    let dds_cli::AnyClass::Hom(h) = &lowered.class else {
+        panic!("e3 is a hom spec");
+    };
+    assert_eq!(h.template(), class.template());
+    assert_same_run("specs/e3.dds", 0, &class, &want);
+}
+
+#[test]
+fn e4_matches_the_chain_experiment() {
+    let schema = graph_schema();
+    let want = chain_system(schema.clone(), 8);
+    let class = FreeRelationalClass::new(schema);
+    assert_same_run("specs/e4.dds", 0, &class, &want);
+}
+
+#[test]
+fn e5_matches_the_word_experiment() {
+    let nfa = Nfa::new(
+        vec!["a".into(), "b".into(), "c".into(), "d".into()],
+        vec![0, 1, 2, 3],
+        vec![(0, 1), (1, 2), (2, 3), (3, 0), (1, 1)],
+        vec![0],
+        vec![3],
+    )
+    .unwrap();
+    let class = WordClass::new(nfa);
+    let mut b = SystemBuilder::new(class.schema().clone(), &["x"]);
+    b.state("s").initial();
+    b.state("t").accepting();
+    b.rule("s", "t", "x_old < x_new").unwrap();
+    let want = b.finish().unwrap();
+    assert_same_run("specs/e5.dds", 0, &class, &want);
+}
+
+fn e6_automaton() -> TreeAutomaton {
+    TreeAutomaton::new(
+        vec!["r".into(), "a".into(), "b".into()],
+        vec![0, 1, 2],
+        vec![2],
+        vec![0],
+        vec![0, 1, 2],
+        vec![(1, 0), (2, 0), (1, 1), (2, 1)],
+        vec![],
+    )
+}
+
+#[test]
+fn e6_matches_the_tree_experiment() {
+    let class = TreeClass::new(e6_automaton());
+    let mut b = SystemBuilder::new(class.schema().clone(), &["x"]);
+    b.state("s0").initial();
+    b.state("s1");
+    b.state("acc").accepting();
+    b.rule("s0", "s1", "x_old <= x_new & x_old != x_new")
+        .unwrap();
+    b.rule("s1", "acc", "b(x_old) & x_old = x_new").unwrap();
+    let want = b.finish().unwrap();
+    assert_same_run("specs/e6.dds", 0, &class, &want);
+}
+
+#[test]
+fn e7_matches_the_data_experiment() {
+    let class = DataClass::new(
+        FreeRelationalClass::new(graph_schema()),
+        DataSpec::rational_order(),
+    );
+    let mut b = SystemBuilder::new(class.schema().clone(), &["x"]);
+    b.state("s").initial();
+    b.state("m");
+    b.state("t").accepting();
+    let guard = "E(x_old, x_new) & x_old << x_new";
+    b.rule("s", "m", guard).unwrap();
+    b.rule("m", "t", guard).unwrap();
+    let want = b.finish().unwrap();
+    assert_same_run("specs/e7.dds", 0, &class, &want);
+}
+
+#[test]
+fn e8_matches_the_pointer_blowup_experiment() {
+    let aut = e6_automaton();
+    let depth = 64usize;
+    let mut t = Tree::leaf(0);
+    let mut cur = 0;
+    for _ in 0..depth {
+        cur = t.push_child(cur, 1);
+    }
+    t.push_child(cur, 2);
+    let mut states = vec![0u32];
+    states.extend(std::iter::repeat(1).take(depth));
+    states.push(2);
+    let ptr = run_pointers(&aut, &t, &states);
+    let mid = 1 + depth / 2;
+    let ratio = blowup_ratio(&t, &ptr, &[mid, t.len() - 1]);
+    let want = format!("ratio_x1000={}", (ratio * 1000.0) as u64);
+
+    let lowered = load("specs/e8.dds");
+    let Task::Blowup {
+        tree,
+        states: spec_states,
+        targets,
+    } = &lowered.properties[0].task
+    else {
+        panic!("e8 must be a blowup property");
+    };
+    assert_eq!(tree.len(), t.len());
+    assert_eq!(spec_states, &states);
+    assert_eq!(targets, &[mid, t.len() - 1]);
+    let report = dds_cli::run_spec("specs/e8.dds", &lowered, &RunOptions::default());
+    assert_eq!(report.properties[0].outcome, want);
+}
+
+#[test]
+fn e9_matches_the_counter_experiment() {
+    let want = CounterMachine::count_up_down(3);
+    let lowered = load("specs/e9.dds");
+    let dds_cli::AnyClass::Counter(m) = &lowered.class else {
+        panic!("e9 is a counter spec");
+    };
+    assert_eq!(m.program, want.program);
+    assert_eq!(m.program.iter().filter(|i| **i == Instr::Halt).count(), 1);
+    let report = dds_cli::run_spec("specs/e9.dds", &lowered, &RunOptions::default());
+    let expected = if words_succ::bounded_check(&want, 5).is_some() {
+        "halts"
+    } else {
+        "open"
+    };
+    assert_eq!(report.properties[0].outcome, expected);
+}
+
+#[test]
+fn e10_matches_the_headline_experiment() {
+    let schema = graph_schema();
+    let want = example1(schema.clone());
+    let class = cycle_template(schema, 2);
+    assert_same_run("specs/e10.dds", 0, &class, &want);
+}
+
+// ---- the four programmatic examples, scenario by scenario ----
+
+#[test]
+fn quickstart_specs_match_the_example() {
+    let schema = graph_schema();
+    let system = example1(schema.clone());
+    assert_same_run(
+        "specs/quickstart.dds",
+        0,
+        &FreeRelationalClass::new(schema.clone()),
+        &system,
+    );
+
+    // Example 2's template: two red nodes linked both ways + a white hub.
+    let e = schema.lookup("E").unwrap();
+    let red = schema.lookup("red").unwrap();
+    let mut h = Structure::new(schema.clone(), 3);
+    let (r0, r1, w) = (Element(0), Element(1), Element(2));
+    h.add_fact(red, &[r0]).unwrap();
+    h.add_fact(red, &[r1]).unwrap();
+    for (a, b) in [
+        (r0, r1),
+        (r1, r0),
+        (r0, w),
+        (w, r0),
+        (r1, w),
+        (w, r1),
+        (w, w),
+    ] {
+        h.add_fact(e, &[a, b]).unwrap();
+    }
+    assert_same_run("specs/quickstart_hom.dds", 0, &HomClass::new(h), &system);
+}
+
+fn business_class() -> DataClass<HomClass> {
+    let mut schema = Schema::new();
+    let placed = schema.add_relation("placed", 1).unwrap();
+    let shipped = schema.add_relation("shipped", 1).unwrap();
+    let customer = schema.add_relation("customer", 1).unwrap();
+    let owns = schema.add_relation("owns", 2).unwrap();
+    let schema = schema.finish();
+    let mut h = Structure::new(schema, 3);
+    let (hc, hp, hs) = (Element(0), Element(1), Element(2));
+    h.add_fact(customer, &[hc]).unwrap();
+    h.add_fact(placed, &[hp]).unwrap();
+    h.add_fact(shipped, &[hs]).unwrap();
+    h.add_fact(owns, &[hc, hp]).unwrap();
+    h.add_fact(owns, &[hc, hs]).unwrap();
+    DataClass::new(HomClass::new(h), DataSpec::nat_eq_injective())
+}
+
+#[test]
+fn business_process_specs_match_the_example() {
+    let class = business_class();
+    let mut b = SystemBuilder::new(class.schema().clone(), &["o", "c"]);
+    b.state("start").initial();
+    b.state("tracking");
+    b.state("done").accepting();
+    b.rule(
+        "start",
+        "tracking",
+        "placed(o_new) & customer(c_new) & owns(c_new, o_new) & o_new = o_old & c_new = c_old",
+    )
+    .unwrap();
+    b.rule(
+        "tracking",
+        "done",
+        "c_old = c_new & shipped(o_new) & owns(c_new, o_new) & !(o_old ~ o_new)",
+    )
+    .unwrap();
+    let system = b.finish().unwrap();
+    assert_same_run("specs/business_process.dds", 0, &class, &system);
+
+    let mut b = SystemBuilder::new(class.schema().clone(), &["o", "c"]);
+    b.state("start").initial();
+    b.state("done").accepting();
+    b.rule(
+        "start",
+        "done",
+        "placed(o_old) & shipped(o_new) & o_old ~ o_new & c_old = c_new",
+    )
+    .unwrap();
+    let impossible = b.finish().unwrap();
+    assert_same_run("specs/business_process_control.dds", 0, &class, &impossible);
+}
+
+fn log_class() -> WordClass {
+    let nfa = Nfa::new(
+        vec!["open".into(), "read".into(), "write".into(), "close".into()],
+        vec![0, 1, 2, 3],
+        vec![
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (1, 1),
+            (1, 2),
+            (1, 3),
+            (2, 1),
+            (2, 2),
+            (2, 3),
+            (3, 0),
+        ],
+        vec![0],
+        vec![3],
+    )
+    .expect("language nonempty");
+    WordClass::new(nfa)
+}
+
+#[test]
+fn log_audit_specs_match_the_example() {
+    let class = log_class();
+    let audits = [
+        (
+            "specs/log_audit.dds",
+            "open(x_old) & write(y_new) & x_old < y_new & x_old = x_new",
+        ),
+        (
+            "specs/log_audit_sessions.dds",
+            "close(x_old) & open(y_old) & x_old < y_old & x_old = x_new & y_old = y_new",
+        ),
+        (
+            "specs/log_audit_impossible.dds",
+            "read(x_old) & write(x_old) & y_old = y_new & x_old = x_new",
+        ),
+    ];
+    for (rel, guard) in audits {
+        let mut b = SystemBuilder::new(class.schema().clone(), &["x", "y"]);
+        b.state("scan").initial();
+        b.state("flag").accepting();
+        b.rule("scan", "flag", guard).unwrap();
+        let system = b.finish().unwrap();
+        assert_same_run(rel, 0, &class, &system);
+    }
+}
+
+#[test]
+fn xml_workflow_specs_match_the_example() {
+    let aut = TreeAutomaton::new(
+        vec!["catalog".into(), "section".into(), "item".into()],
+        vec![0, 1, 2],
+        vec![2],
+        vec![0],
+        vec![0, 1, 2],
+        vec![(1, 0), (2, 0), (1, 1), (2, 1)],
+        vec![(1, 1), (2, 1), (1, 2), (2, 2)],
+    );
+    let class = TreeClass::new(aut);
+    let mut b = SystemBuilder::new(class.schema().clone(), &["x"]);
+    b.state("at_root").initial();
+    b.state("in_section");
+    b.state("at_item").accepting();
+    b.rule(
+        "at_root",
+        "in_section",
+        "catalog(x_old) & x_old <= x_new & x_old != x_new & section(x_new)",
+    )
+    .unwrap();
+    b.rule(
+        "in_section",
+        "at_item",
+        "x_old <= x_new & x_old != x_new & item(x_new)",
+    )
+    .unwrap();
+    let system = b.finish().unwrap();
+    assert_same_run("specs/xml_workflow.dds", 0, &class, &system);
+
+    let mut b = SystemBuilder::new(class.schema().clone(), &["x"]);
+    b.state("s").initial();
+    b.state("t").accepting();
+    b.rule("s", "t", "item(x_old) & x_old <= x_new & catalog(x_new)")
+        .unwrap();
+    let impossible = b.finish().unwrap();
+    assert_same_run("specs/xml_workflow_control.dds", 0, &class, &impossible);
+}
+
+// ---- the spec-only workloads still get their outcomes pinned here ----
+
+#[test]
+fn new_workloads_verify_green() {
+    for rel in [
+        "specs/order_fulfilment.dds",
+        "specs/audit_recency.dds",
+        "specs/versioned_docs.dds",
+    ] {
+        let lowered = load(rel);
+        assert!(
+            lowered.properties.len() >= 2,
+            "{rel}: new workloads carry a positive and a negative property"
+        );
+        let report = dds_cli::run_spec(rel, &lowered, &RunOptions::default());
+        for p in &report.properties {
+            assert_eq!(p.pass, Some(true), "{rel}: {} -> {}", p.id, p.outcome);
+        }
+    }
+}

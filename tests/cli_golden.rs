@@ -1,0 +1,168 @@
+//! Golden-file coverage for the `dds` CLI.
+//!
+//! Every `specs/*.dds` file is lowered and run (sequentially, default
+//! options) and its rendered text and JSON outputs are diffed against the
+//! checked-in snapshots under `tests/golden/`; every `specs/errors/*.dds`
+//! file must fail to load with exactly the pinned diagnostic. JSON
+//! snapshots are normalized (`wall_ns` zeroed) so measurements never flap.
+//!
+//! Refresh after an intentional change with:
+//!
+//! ```text
+//! DDS_UPDATE_GOLDEN=1 cargo test --test cli_golden
+//! ```
+
+use dds_cli::{load_spec, render, run_spec, RunOptions};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn updating() -> bool {
+    std::env::var_os("DDS_UPDATE_GOLDEN").is_some()
+}
+
+/// Sorted `.dds` files under `dir` (non-recursive).
+fn spec_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out: Vec<PathBuf> = fs::read_dir(dir)
+        .unwrap_or_else(|e| panic!("{}: {e}", dir.display()))
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "dds"))
+        .collect();
+    out.sort();
+    assert!(!out.is_empty(), "no .dds files in {}", dir.display());
+    out
+}
+
+fn compare(golden: &Path, actual: &str, hint: &str) {
+    if updating() {
+        fs::create_dir_all(golden.parent().unwrap()).unwrap();
+        fs::write(golden, actual).unwrap();
+        return;
+    }
+    let want = fs::read_to_string(golden).unwrap_or_else(|_| {
+        panic!(
+            "missing golden file {} — run `DDS_UPDATE_GOLDEN=1 cargo test --test cli_golden`",
+            golden.display()
+        )
+    });
+    assert_eq!(
+        actual,
+        want,
+        "{hint} drifted from {} — if intentional, refresh with \
+         `DDS_UPDATE_GOLDEN=1 cargo test --test cli_golden`",
+        golden.display()
+    );
+}
+
+#[test]
+fn spec_corpus_matches_text_and_json_snapshots() {
+    let root = root();
+    for path in spec_files(&root.join("specs")) {
+        let stem = path.file_stem().unwrap().to_str().unwrap().to_owned();
+        let label = format!("specs/{stem}.dds");
+        let src = fs::read_to_string(&path).unwrap();
+        let lowered = load_spec(&src).unwrap_or_else(|e| panic!("{}", e.with_path(&label)));
+        let report = run_spec(&label, &lowered, &RunOptions::default());
+        // Outcome drift (an expectation mismatch) fails even before the
+        // snapshot diff, with the property named.
+        for p in &report.properties {
+            assert!(
+                p.ok(),
+                "{label}: property {} produced `{}`, expected `{}`",
+                p.id,
+                p.outcome,
+                p.expect.as_deref().unwrap_or("(none)")
+            );
+        }
+        let text = render::text(&report, false);
+        compare(
+            &root.join("tests/golden").join(format!("{stem}.txt")),
+            &text,
+            &label,
+        );
+        let json = render::normalize_wall_ns(&render::json(std::slice::from_ref(&report)));
+        compare(
+            &root.join("tests/golden").join(format!("{stem}.json")),
+            &json,
+            &label,
+        );
+    }
+}
+
+#[test]
+fn error_specs_match_diagnostic_snapshots() {
+    let root = root();
+    for path in spec_files(&root.join("specs/errors")) {
+        let stem = path.file_stem().unwrap().to_str().unwrap().to_owned();
+        let label = format!("specs/errors/{stem}.dds");
+        let src = fs::read_to_string(&path).unwrap();
+        let err = load_spec(&src)
+            .err()
+            .unwrap_or_else(|| panic!("{label}: expected a load error, spec loaded fine"));
+        let rendered = format!("{}\n", err.with_path(&label));
+        compare(
+            &root.join("tests/golden/errors").join(format!("{stem}.txt")),
+            &rendered,
+            &label,
+        );
+    }
+}
+
+#[test]
+fn readme_quickstart_spec_verifies() {
+    // The "Write your first spec" snippet in README.md must stay a valid,
+    // green spec — this extracts it verbatim and runs it.
+    let readme = fs::read_to_string(root().join("README.md")).unwrap();
+    let section = readme
+        .split("## Write your first spec")
+        .nth(1)
+        .expect("README has the quickstart section");
+    let snippet = section
+        .split("```text")
+        .nth(1)
+        .and_then(|s| s.split("```").next())
+        .expect("quickstart section has a ```text block");
+    let lowered =
+        load_spec(snippet).unwrap_or_else(|e| panic!("README quickstart spec does not load: {e}"));
+    let report = run_spec("README.md", &lowered, &RunOptions::default());
+    assert!(report.ok(), "README quickstart spec fails: {report:?}");
+    assert_eq!(report.properties[0].outcome, "nonempty");
+}
+
+#[test]
+fn golden_directory_has_no_orphans() {
+    // Renaming a spec must not leave stale snapshots behind silently.
+    let root = root();
+    let stems: Vec<String> = spec_files(&root.join("specs"))
+        .iter()
+        .map(|p| p.file_stem().unwrap().to_str().unwrap().to_owned())
+        .collect();
+    for entry in fs::read_dir(root.join("tests/golden")).unwrap() {
+        let p = entry.unwrap().path();
+        if p.is_dir() {
+            continue;
+        }
+        let stem = p.file_stem().unwrap().to_str().unwrap();
+        assert!(
+            stems.iter().any(|s| s == stem),
+            "orphaned golden file {} (no specs/{stem}.dds)",
+            p.display()
+        );
+    }
+    let err_stems: Vec<String> = spec_files(&root.join("specs/errors"))
+        .iter()
+        .map(|p| p.file_stem().unwrap().to_str().unwrap().to_owned())
+        .collect();
+    for entry in fs::read_dir(root.join("tests/golden/errors")).unwrap() {
+        let p = entry.unwrap().path();
+        let stem = p.file_stem().unwrap().to_str().unwrap();
+        assert!(
+            err_stems.iter().any(|s| s == stem),
+            "orphaned golden file {} (no specs/errors/{stem}.dds)",
+            p.display()
+        );
+    }
+}
