@@ -1,0 +1,537 @@
+//! `dds fuzz` — cross-class differential fuzzing of the whole pipeline.
+//!
+//! Each iteration draws a random scenario from `dds-gen` (a multi-state,
+//! multi-rule guarded system over one of the eight structure classes) and
+//! checks, in order:
+//!
+//! 1. **round-trip** — rendering the scenario as `.dds` text, re-parsing
+//!    and lowering it reproduces the directly-built system *rule-for-rule*
+//!    (same states, registers, guards, initial/accepting sets — and for
+//!    counter machines, the same program), and the lowered system drives
+//!    the engine to the identical outcome and statistics;
+//! 2. **four-way engine agreement** — `threads = 1` vs `threads = N`,
+//!    certify vs `--no-certify`, all bit-identical;
+//! 3. **baseline agreement** — the bounded brute-force oracles
+//!    (`dds_system::baseline`, `dds_words::baseline`, `dds_trees::baseline`,
+//!    member enumeration for equivalence/linear orders, the Fact 15 word
+//!    search for counter machines) never contradict the engine, and
+//!    certified witnesses replay and are class members.
+//!
+//! Runs are a pure function of `--seed`: the same seed yields the same
+//! report on every machine. On failure the scenario is shrunk to a locally
+//! minimal reproducer and written to disk as a `.dds` file (format pinned
+//! by [`repro_contents`] and the golden suite).
+
+use crate::lower::{AnyClass, Task};
+use crate::SpecError;
+use dds_core::{Engine, EngineOptions, EngineStats, SymbolicClass};
+use dds_gen::diff::{self, DiffOptions, DiffReport};
+use dds_gen::scenario::BuiltClass;
+use dds_gen::{generate_seeded, ClassKind, Scenario};
+use dds_system::System;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// Everything `dds fuzz` accepts on the command line.
+#[derive(Clone, Debug)]
+pub struct FuzzOptions {
+    /// Base seed; every `(class, iteration)` derives its own stream.
+    pub seed: u64,
+    /// Iterations per class.
+    pub iters: u64,
+    /// Classes to fuzz (default: all eight).
+    pub classes: Vec<ClassKind>,
+    /// Generation size knob (`1..=3`): registers, states, rules, guard width.
+    pub max_size: usize,
+    /// Worker count of the parallel engine leg.
+    pub threads: usize,
+    /// Engine exploration budget per leg.
+    pub max_configs: usize,
+    /// Directory minimized repros are written to.
+    pub out_dir: PathBuf,
+    /// When set, every passing iteration's spec (with its observed outcome
+    /// stamped as `expect`) is written here — the corpus-seed workflow.
+    pub emit_corpus: Option<PathBuf>,
+    /// Test hook: force iteration `(class, iter)` to fail so the shrinking
+    /// and repro-writing paths can be exercised deterministically.
+    pub inject_failure: Option<(ClassKind, u64)>,
+}
+
+impl Default for FuzzOptions {
+    fn default() -> FuzzOptions {
+        FuzzOptions {
+            seed: 0xDD5,
+            iters: 4,
+            classes: ClassKind::ALL.to_vec(),
+            max_size: 2,
+            threads: 2,
+            max_configs: 100_000,
+            out_dir: PathBuf::from("."),
+            emit_corpus: None,
+            inject_failure: None,
+        }
+    }
+}
+
+impl FuzzOptions {
+    fn diff_options(&self) -> DiffOptions {
+        DiffOptions {
+            threads: self.threads,
+            max_configs: self.max_configs,
+            ..DiffOptions::default()
+        }
+    }
+}
+
+/// Per-class tallies.
+#[derive(Clone, Debug, Default)]
+pub struct ClassSummary {
+    /// Iterations run.
+    pub iters: u64,
+    /// Outcome keyword → count.
+    pub outcomes: BTreeMap<String, u64>,
+    /// Iterations a brute-force oracle cross-checked.
+    pub baseline: u64,
+    /// Iterations whose certified witness replayed.
+    pub certified: u64,
+    /// Iterations that passed the round-trip property.
+    pub roundtrip: u64,
+}
+
+/// One failing iteration.
+#[derive(Clone, Debug)]
+pub struct FuzzFailure {
+    /// Class being fuzzed.
+    pub class: ClassKind,
+    /// Iteration index within the class.
+    pub iteration: u64,
+    /// What disagreed.
+    pub reason: String,
+    /// Where the minimized repro was written (None if writing failed).
+    pub repro_path: Option<PathBuf>,
+}
+
+/// The whole run's result.
+#[derive(Clone, Debug)]
+pub struct FuzzReport {
+    /// Options echo (what the report header prints).
+    pub options: FuzzOptions,
+    /// Per-class summaries, in [`ClassKind::ALL`] order.
+    pub classes: Vec<(ClassKind, ClassSummary)>,
+    /// Failures, in discovery order.
+    pub failures: Vec<FuzzFailure>,
+}
+
+impl FuzzReport {
+    /// True when no iteration failed.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Runs the fuzzing campaign. I/O errors (repro/corpus writing) surface as
+/// `Err`; check failures are collected in the report.
+pub fn run(opts: &FuzzOptions) -> std::io::Result<FuzzReport> {
+    let diff_opts = opts.diff_options();
+    let mut classes = Vec::new();
+    let mut failures = Vec::new();
+    for &kind in &opts.classes {
+        let mut summary = ClassSummary::default();
+        for iter in 0..opts.iters {
+            let sc = generate_seeded(kind, opts.seed, iter, opts.max_size);
+            let injected = opts.inject_failure == Some((kind, iter));
+            let result = if injected {
+                Err("injected failure (--inject-failure test hook)".to_owned())
+            } else {
+                check_iteration(&sc, &diff_opts)
+            };
+            summary.iters += 1;
+            match result {
+                Ok(check) => {
+                    *summary
+                        .outcomes
+                        .entry(check.diff.outcome.clone())
+                        .or_insert(0) += 1;
+                    if check.diff.baseline_checked {
+                        summary.baseline += 1;
+                    }
+                    if check.diff.witness_certified {
+                        summary.certified += 1;
+                    }
+                    summary.roundtrip += 1;
+                    // `resource-limit` outcomes are budget-dependent (the
+                    // corpus replays under `dds verify`'s larger default
+                    // budget, which may decide the instance), so they never
+                    // become corpus seeds.
+                    let stable_outcome = check.diff.outcome != "resource-limit";
+                    if let (Some(dir), true) = (&opts.emit_corpus, stable_outcome) {
+                        std::fs::create_dir_all(dir)?;
+                        let name = format!(
+                            "fuzz_{}_s{}_i{iter}.dds",
+                            kind.keyword().replace('-', "_"),
+                            opts.seed
+                        );
+                        std::fs::write(
+                            dir.join(name),
+                            corpus_contents(&sc, opts.seed, kind, iter, &check.diff),
+                        )?;
+                    }
+                }
+                Err(reason) => {
+                    let minimized = dds_gen::shrink::minimize(sc, &mut |cand| {
+                        if injected {
+                            true // any buildable candidate "reproduces" an injected failure
+                        } else {
+                            check_iteration(cand, &diff_opts).is_err()
+                        }
+                    });
+                    let path = opts.out_dir.join(format!(
+                        "fuzz-repro-{}-s{}-i{iter}.dds",
+                        kind.keyword(),
+                        opts.seed
+                    ));
+                    let contents = repro_contents(&minimized, opts.seed, kind, iter, &reason);
+                    let repro_path = std::fs::create_dir_all(&opts.out_dir)
+                        .and_then(|()| std::fs::write(&path, contents))
+                        .ok()
+                        .map(|_| path);
+                    failures.push(FuzzFailure {
+                        class: kind,
+                        iteration: iter,
+                        reason,
+                        repro_path,
+                    });
+                }
+            }
+        }
+        classes.push((kind, summary));
+    }
+    Ok(FuzzReport {
+        options: opts.clone(),
+        classes,
+        failures,
+    })
+}
+
+/// What one passing iteration established.
+struct IterationCheck {
+    diff: DiffReport,
+}
+
+/// Differential checks plus the round-trip property for one scenario. The
+/// diff runs first so its agreed certified-sequential engine leg doubles as
+/// the built side of the round-trip comparison (no sixth engine run).
+fn check_iteration(sc: &Scenario, diff_opts: &DiffOptions) -> Result<IterationCheck, String> {
+    let built = sc.build()?;
+    let diff = diff::check_built(sc, &built, diff_opts)?;
+    round_trip(sc, &built, &diff, diff_opts)?;
+    Ok(IterationCheck { diff })
+}
+
+/// The round-trip property: render → parse → lower reproduces the built
+/// system rule-for-rule, and drives the engine identically (compared
+/// against the diff report's agreed engine leg).
+fn round_trip(
+    sc: &Scenario,
+    built: &dds_gen::Built,
+    diff: &DiffReport,
+    diff_opts: &DiffOptions,
+) -> Result<(), String> {
+    let text = sc.render();
+    let lowered = crate::load_spec(&text)
+        .map_err(|e: SpecError| format!("round-trip: rendered spec does not load: {e}\n{text}"))?;
+    if lowered.name != sc.name {
+        return Err(format!(
+            "round-trip: system name drifted: `{}` vs `{}`",
+            lowered.name, sc.name
+        ));
+    }
+    let property = lowered
+        .properties
+        .first()
+        .ok_or("round-trip: lowered spec has no properties")?;
+
+    match (&built.class, &lowered.class) {
+        (BuiltClass::Counter(machine), AnyClass::Counter(lowered_machine)) => {
+            if machine != lowered_machine {
+                return Err(format!(
+                    "round-trip: counter program drifted:\n  built   {machine:?}\n  lowered {lowered_machine:?}"
+                ));
+            }
+            let ScenarioClass::Counter { bound, .. } = &sc.class else {
+                return Err("round-trip: counter scenario without counter class".into());
+            };
+            match &property.task {
+                Task::BoundedHalt { bound: b } if b == bound => Ok(()),
+                other => Err(format!("round-trip: property drifted: {other:?}")),
+            }
+        }
+        (BuiltClass::Counter(_), other) => Err(format!("round-trip: counter lowered as {other:?}")),
+        (_, lowered_class) => {
+            let system = built
+                .system
+                .as_ref()
+                .ok_or("round-trip: scenario without a system")?;
+            let Task::Reach(lowered_system) = &property.task else {
+                return Err(format!("round-trip: property drifted: {:?}", property.task));
+            };
+            same_system(system, lowered_system)?;
+            // Behavioral equality: the lowered class value must drive the
+            // engine to the identical outcome and deterministic statistics
+            // as the built class did in the diff's certified sequential leg.
+            let eo = EngineOptions {
+                max_configs: diff_opts.max_configs,
+                ..EngineOptions::default()
+            };
+            let built_stats = diff
+                .engine_stats
+                .ok_or("round-trip: diff report has no engine leg for this class")?;
+            let (lowered_kind, lowered_stats) =
+                lowered_engine_kind(lowered_class, lowered_system, eo);
+            if lowered_kind != diff.outcome || lowered_stats != built_stats {
+                return Err(format!(
+                    "round-trip: engine drift between built and lowered class: {} {built_stats:?} vs {lowered_kind} {lowered_stats:?}",
+                    diff.outcome
+                ));
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Rule-for-rule system equality.
+fn same_system(a: &System, b: &System) -> Result<(), String> {
+    let names = |s: &System| -> Vec<String> {
+        (0..s.num_states())
+            .map(|i| s.state_name(dds_system::StateId(i as u32)).to_owned())
+            .collect()
+    };
+    let regs = |s: &System| -> Vec<String> {
+        (0..s.num_registers())
+            .map(|i| s.register_name(i).to_owned())
+            .collect()
+    };
+    if names(a) != names(b) {
+        return Err(format!(
+            "round-trip: state names drifted: {:?} vs {:?}",
+            names(a),
+            names(b)
+        ));
+    }
+    if regs(a) != regs(b) {
+        return Err(format!(
+            "round-trip: register names drifted: {:?} vs {:?}",
+            regs(a),
+            regs(b)
+        ));
+    }
+    if a.initial() != b.initial() || a.accepting() != b.accepting() {
+        return Err("round-trip: initial/accepting sets drifted".into());
+    }
+    if a.rules() != b.rules() {
+        return Err(format!(
+            "round-trip: rules drifted:\n  built   {:?}\n  lowered {:?}",
+            a.rules(),
+            b.rules()
+        ));
+    }
+    Ok(())
+}
+
+fn engine_kind<C: SymbolicClass>(
+    class: &C,
+    system: &System,
+    eo: EngineOptions,
+) -> (&'static str, EngineStats) {
+    let outcome = Engine::new(class, system).with_options(eo).run();
+    (outcome.keyword(), *outcome.stats())
+}
+
+fn lowered_engine_kind(
+    class: &AnyClass,
+    system: &System,
+    eo: EngineOptions,
+) -> (&'static str, EngineStats) {
+    match class {
+        AnyClass::Free(c) => engine_kind(c, system, eo),
+        AnyClass::Hom(c) => engine_kind(c, system, eo),
+        AnyClass::Order(c) => engine_kind(c, system, eo),
+        AnyClass::Equiv(c) => engine_kind(c, system, eo),
+        AnyClass::Words(c) => engine_kind(c, system, eo),
+        AnyClass::Trees(c) => engine_kind(c, system, eo),
+        AnyClass::DataFree(c) => engine_kind(c, system, eo),
+        AnyClass::DataHom(c) => engine_kind(c, system, eo),
+        AnyClass::DataOrder(c) => engine_kind(c, system, eo),
+        AnyClass::DataEquiv(c) => engine_kind(c, system, eo),
+        AnyClass::Counter(_) => unreachable!("counter handled before engine comparison"),
+    }
+}
+
+use dds_gen::ScenarioClass;
+
+/// The pinned minimized-repro file format: two comment header lines
+/// (provenance, then the reason) followed by the rendered spec. The golden
+/// suite snapshots this byte-for-byte.
+pub fn repro_contents(
+    sc: &Scenario,
+    seed: u64,
+    class: ClassKind,
+    iteration: u64,
+    reason: &str,
+) -> String {
+    format!(
+        "# dds fuzz minimized repro: seed {seed} class {} iter {iteration}\n# reason: {}\n{}",
+        class.keyword(),
+        reason.replace('\n', " / "),
+        sc.render()
+    )
+}
+
+/// A corpus seed: provenance header plus the spec with its observed outcome
+/// stamped as `expect`, so replaying the file re-verifies the outcome.
+pub fn corpus_contents(
+    sc: &Scenario,
+    seed: u64,
+    class: ClassKind,
+    iteration: u64,
+    diff: &DiffReport,
+) -> String {
+    format!(
+        "# dds fuzz corpus seed: seed {seed} class {} iter {iteration}\n# four-way engine agreement{} held when generated\n{}",
+        class.keyword(),
+        if diff.baseline_checked {
+            " and brute-force baseline agreement"
+        } else {
+            ""
+        },
+        sc.render_with_expect(Some(&diff.outcome))
+    )
+}
+
+/// Renders the deterministic run report (no timings — same seed, same
+/// bytes).
+pub fn render_report(report: &FuzzReport) -> String {
+    let o = &report.options;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== dds fuzz: seed {}, {} iters/class, max-size {}, threads 1v{}, max-configs {}",
+        o.seed, o.iters, o.max_size, o.threads, o.max_configs
+    );
+    for (kind, s) in &report.classes {
+        let outcomes: Vec<String> = s.outcomes.iter().map(|(k, v)| format!("{k} {v}")).collect();
+        let _ = writeln!(
+            out,
+            "class {:<12} : {} iters | {} | baseline {}/{} certified {} roundtrip {}/{}",
+            kind.keyword(),
+            s.iters,
+            outcomes.join(", "),
+            s.baseline,
+            s.iters,
+            s.certified,
+            s.roundtrip,
+            s.iters,
+        );
+    }
+    for f in &report.failures {
+        let _ = writeln!(
+            out,
+            "FAIL {} iter {}: {}{}",
+            f.class.keyword(),
+            f.iteration,
+            f.reason.lines().next().unwrap_or(""),
+            match &f.repro_path {
+                Some(p) => format!(" (repro: {})", p.display()),
+                None => " (repro could not be written)".into(),
+            }
+        );
+    }
+    let total: u64 = report.classes.iter().map(|(_, s)| s.iters).sum();
+    let _ = writeln!(
+        out,
+        "result: {} ({} iterations, {} failures)",
+        if report.passed() { "PASS" } else { "FAIL" },
+        total,
+        report.failures.len()
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_opts() -> FuzzOptions {
+        FuzzOptions {
+            iters: 1,
+            max_size: 1,
+            classes: vec![
+                ClassKind::Free,
+                ClassKind::Equivalence,
+                ClassKind::LinearOrder,
+                ClassKind::Words,
+            ],
+            out_dir: std::env::temp_dir(),
+            ..FuzzOptions::default()
+        }
+    }
+
+    #[test]
+    fn quick_run_passes_and_replays() {
+        let opts = quick_opts();
+        let a = run(&opts).unwrap();
+        assert!(a.passed(), "{}", render_report(&a));
+        let b = run(&opts).unwrap();
+        assert_eq!(
+            render_report(&a),
+            render_report(&b),
+            "same seed, same report"
+        );
+    }
+
+    #[test]
+    fn round_trip_runs_for_every_class() {
+        let diff_opts = DiffOptions::default();
+        for kind in ClassKind::ALL {
+            let sc = generate_seeded(kind, 0xF00D, 0, 1);
+            let built = sc.build().unwrap();
+            let diff = diff::check_built(&sc, &built, &diff_opts)
+                .unwrap_or_else(|e| panic!("{kind:?}: {e}\n{}", sc.render()));
+            round_trip(&sc, &built, &diff, &diff_opts)
+                .unwrap_or_else(|e| panic!("{kind:?}: {e}\n{}", sc.render()));
+        }
+    }
+
+    #[test]
+    fn injected_failure_shrinks_and_writes_a_repro() {
+        let dir = std::env::temp_dir().join("dds-fuzz-test-repro");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let opts = FuzzOptions {
+            iters: 1,
+            max_size: 2,
+            classes: vec![ClassKind::Free],
+            out_dir: dir.clone(),
+            inject_failure: Some((ClassKind::Free, 0)),
+            ..FuzzOptions::default()
+        };
+        let report = run(&opts).unwrap();
+        assert!(!report.passed());
+        let path = report.failures[0]
+            .repro_path
+            .clone()
+            .expect("repro written");
+        let contents = std::fs::read_to_string(&path).unwrap();
+        assert!(contents.starts_with("# dds fuzz minimized repro: seed 3541 class free iter 0\n"));
+        assert!(contents.contains("# reason: injected failure"));
+        // The minimized spec still loads.
+        let spec_text: String = contents
+            .lines()
+            .filter(|l| !l.starts_with('#'))
+            .collect::<Vec<_>>()
+            .join("\n");
+        crate::load_spec(&spec_text).expect("minimized repro is a valid spec");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

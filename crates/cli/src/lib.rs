@@ -25,12 +25,19 @@
 //!
 //! The language reference lives in `docs/SPEC_LANGUAGE.md`; the spec corpus
 //! under `specs/` exercises every construct.
+//!
+//! The [`fuzz`] module drives the pipeline backwards as well: `dds fuzz`
+//! generates random scenarios (`dds_gen`), renders them as `.dds` text, and
+//! requires parse + lower to reproduce the directly-built systems
+//! rule-for-rule — on top of four-way engine agreement and brute-force
+//! baseline checks.
 
 #![warn(missing_docs)]
 
 use std::fmt;
 
 pub mod ast;
+pub mod fuzz;
 pub mod lower;
 pub mod parse;
 pub mod render;

@@ -260,7 +260,11 @@ fn lower_class(decl: &ClassDecl, schema: Option<Arc<Schema>>) -> Result<AnyClass
                 DataValues::RationalOrder => DataSpec::rational_order(),
                 DataValues::RationalOrderInjective => DataSpec::rational_order_injective(),
             };
-            if let Some(s) = &schema {
+            let inner = lower_class(inner, schema)?;
+            // Check the *inner class's* schema, not just a declared one:
+            // the fixed-schema classes clash too (`values nat-eq` compares
+            // with `~`, which `over equivalence` already claims).
+            if let Some(s) = inner.schema() {
                 if s.lookup(&data_spec.symbol).is_ok() {
                     return err(
                         1,
@@ -271,7 +275,7 @@ fn lower_class(decl: &ClassDecl, schema: Option<Arc<Schema>>) -> Result<AnyClass
                     );
                 }
             }
-            Ok(match lower_class(inner, schema)? {
+            Ok(match inner {
                 AnyClass::Free(c) => AnyClass::DataFree(DataClass::new(c, data_spec)),
                 AnyClass::Hom(c) => AnyClass::DataHom(DataClass::new(c, data_spec)),
                 AnyClass::Order(c) => AnyClass::DataOrder(DataClass::new(c, data_spec)),

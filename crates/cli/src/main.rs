@@ -3,6 +3,7 @@
 //! ```text
 //! dds verify [OPTIONS] FILE...   parse, lower and verify .dds specifications
 //! dds check FILE...              parse and lower only (spec linting)
+//! dds fuzz [FUZZ-OPTIONS]        differential fuzzing across all classes
 //!
 //! OPTIONS
 //!   --json            emit JSON records (the BENCH_E1_E10.json shape)
@@ -14,11 +15,16 @@
 //!   --timings         include wall-clock timings in text output
 //! ```
 //!
+//! `dds fuzz --help` documents the fuzzing options.
+//!
 //! Exit codes: `0` all properties pass, `1` a property failed (expectation
-//! mismatch or budget exhausted without a decision), `2` a spec failed to
-//! parse/lower or an I/O error occurred.
+//! mismatch, budget exhausted without a decision, or a fuzz iteration
+//! found a disagreement), `2` a spec failed to parse/lower or an I/O error
+//! occurred.
 
+use dds_cli::fuzz::{self, FuzzOptions};
 use dds_cli::{load_spec, render, run_spec, RunOptions};
+use dds_gen::ClassKind;
 use std::process::ExitCode;
 
 struct Args {
@@ -31,7 +37,122 @@ struct Args {
 }
 
 const USAGE: &str = "usage: dds <verify|check> [--json] [--out PATH] [--threads N] \
-                     [--chunk-size N] [--max-configs N] [--no-certify] [--timings] FILE...";
+                     [--chunk-size N] [--max-configs N] [--no-certify] [--timings] FILE...\n\
+                     \x20      dds fuzz [FUZZ-OPTIONS]   (see `dds fuzz --help`)";
+
+const FUZZ_USAGE: &str = "\
+usage: dds fuzz [--seed N] [--iters N] [--class LIST] [--max-size N]
+                [--threads N] [--max-configs N] [--out DIR] [--emit-corpus DIR]
+
+Differential fuzzing: generates seeded random systems across the eight
+structure classes (free, hom, equivalence, linear-order, words, trees,
+data, counter), renders each as a .dds spec, and checks
+
+  * round-trip     render -> parse -> lower reproduces the built system
+                   rule-for-rule with identical engine behavior,
+  * four-way       engine outcomes and statistics are bit-identical at
+                   1 vs N threads, with and without certification,
+  * baselines      bounded brute-force oracles never contradict the
+                   engine; certified witnesses replay and are members.
+
+Runs are deterministic: the same --seed produces the same report. On
+failure the scenario is shrunk and written to --out as a minimized .dds
+repro; the exit code is 1.
+
+OPTIONS
+  --seed N          base seed (default 3541)
+  --iters N         iterations per class (default 4)
+  --class LIST      comma-separated class subset (default: all eight)
+  --max-size N      generation size knob, 1..=3 (default 2)
+  --threads N       worker count of the parallel engine leg (default 2;
+                    values below 2 are raised to 2 — the four-way check
+                    always compares against the sequential leg)
+  --max-configs N   engine exploration budget per leg (default 100000)
+  --out DIR         directory for minimized repros (default .)
+  --emit-corpus DIR write every passing spec (outcome stamped as `expect`)
+  --inject-failure CLASS:ITER
+                    test hook: force one iteration to fail";
+
+fn parse_fuzz_args(argv: &[String]) -> Result<FuzzOptions, String> {
+    let mut opts = FuzzOptions::default();
+    let mut it = argv.iter();
+    let value = |flag: &str, v: Option<&String>| -> Result<String, String> {
+        v.cloned()
+            .ok_or_else(|| format!("{flag} needs a value\n{FUZZ_USAGE}"))
+    };
+    let numeric = |flag: &str, v: Option<&String>| -> Result<u64, String> {
+        value(flag, v)?
+            .parse()
+            .map_err(|_| format!("{flag} needs a number\n{FUZZ_USAGE}"))
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => opts.seed = numeric("--seed", it.next())?,
+            "--iters" => opts.iters = numeric("--iters", it.next())?,
+            "--max-size" => opts.max_size = numeric("--max-size", it.next())? as usize,
+            "--threads" => opts.threads = (numeric("--threads", it.next())? as usize).max(2),
+            "--max-configs" => opts.max_configs = numeric("--max-configs", it.next())? as usize,
+            "--out" => opts.out_dir = value("--out", it.next())?.into(),
+            "--emit-corpus" => opts.emit_corpus = Some(value("--emit-corpus", it.next())?.into()),
+            "--class" => {
+                let list = value("--class", it.next())?;
+                let mut classes = Vec::new();
+                for word in list.split(',').filter(|w| !w.is_empty()) {
+                    let kind = ClassKind::parse(word)
+                        .ok_or_else(|| format!("unknown class `{word}`\n{FUZZ_USAGE}"))?;
+                    if !classes.contains(&kind) {
+                        classes.push(kind);
+                    }
+                }
+                if classes.is_empty() {
+                    return Err(format!("--class needs at least one class\n{FUZZ_USAGE}"));
+                }
+                opts.classes = classes;
+            }
+            "--inject-failure" => {
+                let spec = value("--inject-failure", it.next())?;
+                let (class, iter) = spec
+                    .split_once(':')
+                    .ok_or_else(|| format!("--inject-failure needs CLASS:ITER\n{FUZZ_USAGE}"))?;
+                let kind = ClassKind::parse(class)
+                    .ok_or_else(|| format!("unknown class `{class}`\n{FUZZ_USAGE}"))?;
+                let iter: u64 = iter
+                    .parse()
+                    .map_err(|_| format!("--inject-failure needs CLASS:ITER\n{FUZZ_USAGE}"))?;
+                opts.inject_failure = Some((kind, iter));
+            }
+            other => return Err(format!("unknown fuzz flag `{other}`\n{FUZZ_USAGE}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn run_fuzz(argv: &[String]) -> ExitCode {
+    if argv.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{FUZZ_USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let opts = match parse_fuzz_args(argv) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match fuzz::run(&opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fuzz: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    print!("{}", fuzz::render_report(&report));
+    if report.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut it = argv.iter();
@@ -76,6 +197,14 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("fuzz") => return run_fuzz(&argv[1..]),
+        Some("help" | "--help" | "-h") => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        _ => {}
+    }
     let args = match parse_args(&argv) {
         Ok(a) => a,
         Err(e) => {

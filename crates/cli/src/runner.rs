@@ -113,16 +113,10 @@ struct ReachResult {
 fn reach<C: SymbolicClass>(class: &C, system: &System, eo: EngineOptions) -> ReachResult {
     let outcome = Engine::new(class, system).with_options(eo).run();
     let stats = *outcome.stats();
+    let keyword = outcome.keyword();
     match outcome {
-        Outcome::Empty { .. } => ReachResult {
-            outcome: "empty".into(),
-            stats,
-            trace: None,
-            witness_db: None,
-            witness_run: None,
-        },
-        Outcome::ResourceLimit { .. } => ReachResult {
-            outcome: "resource-limit".into(),
+        Outcome::Empty { .. } | Outcome::ResourceLimit { .. } => ReachResult {
+            outcome: keyword.into(),
             stats,
             trace: None,
             witness_db: None,

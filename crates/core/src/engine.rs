@@ -180,6 +180,17 @@ pub enum Outcome<Cfg> {
 }
 
 impl<Cfg> Outcome<Cfg> {
+    /// The outcome keyword used everywhere results are rendered or
+    /// compared: `empty`, `nonempty` or `resource-limit` (the strings
+    /// `.dds` `expect` lines and the JSON records carry).
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            Outcome::Empty { .. } => "empty",
+            Outcome::NonEmpty { .. } => "nonempty",
+            Outcome::ResourceLimit { .. } => "resource-limit",
+        }
+    }
+
     /// True for [`Outcome::NonEmpty`].
     pub fn is_nonempty(&self) -> bool {
         matches!(self, Outcome::NonEmpty { .. })

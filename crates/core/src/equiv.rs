@@ -70,6 +70,23 @@ impl EquivalenceClass {
         blocks
     }
 
+    /// Enumerates one representative of every isomorphism class of members
+    /// with `1..=max_size` elements (set partitions, in restricted-growth
+    /// order). An accepting run exists on a structure iff it exists on any
+    /// isomorphic copy, so feeding this list to
+    /// `dds_system::baseline::bounded_emptiness` is a complete brute-force
+    /// emptiness check up to the size bound — the oracle the fuzz harness
+    /// races the symbolic engine against.
+    pub fn members_up_to(&self, max_size: usize) -> Vec<Structure> {
+        let mut out = Vec::new();
+        for n in 1..=max_size {
+            for blocks in block_extensions(&[], n) {
+                out.push(self.from_blocks(&blocks));
+            }
+        }
+        out
+    }
+
     /// Membership: `~` is reflexive, symmetric and transitive.
     pub fn is_member(&self, s: &Structure) -> bool {
         for a in s.elements() {

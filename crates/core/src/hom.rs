@@ -114,6 +114,52 @@ impl HomClass {
         true
     }
 
+    /// Membership over the *public* schema: whether some homomorphism of
+    /// `s` into the template exists (the defining condition of `HOM(H)`,
+    /// decided by brute force over all assignments). This is the oracle the
+    /// differential fuzz harness feeds to
+    /// `dds_system::baseline::bounded_emptiness_relational`, and the check
+    /// applied to certified engine witnesses — which live over the public
+    /// schema, unlike [`HomClass::is_member`]'s colored lifts.
+    pub fn maps_into_template(&self, s: &Structure) -> bool {
+        let n = s.size();
+        let m = self.template.size();
+        if n == 0 {
+            return true;
+        }
+        if m == 0 {
+            return false;
+        }
+        let mut assign = vec![0usize; n];
+        loop {
+            let ok = self.public.relations().all(|r| {
+                s.rel_tuples(r).all(|t| {
+                    let mapped: Vec<Element> = t
+                        .iter()
+                        .map(|e| Element::from_index(assign[e.index()]))
+                        .collect();
+                    self.template.holds(r, &mapped)
+                })
+            });
+            if ok {
+                return true;
+            }
+            // Odometer over assignments.
+            let mut i = 0;
+            loop {
+                if i == n {
+                    return false;
+                }
+                assign[i] += 1;
+                if assign[i] < m {
+                    break;
+                }
+                assign[i] = 0;
+                i += 1;
+            }
+        }
+    }
+
     /// σ-relation symbols as internal ids.
     fn sigma_rels(&self) -> Vec<SymbolId> {
         self.public

@@ -58,6 +58,22 @@ impl LinearOrderClass {
         elems
     }
 
+    /// The canonical chain `0 < 1 < .. < n-1` — up to isomorphism the only
+    /// member of size `n`.
+    pub fn chain_structure(&self, n: usize) -> Structure {
+        let order: Vec<Element> = (0..n).map(Element::from_index).collect();
+        self.chain(&order, n)
+    }
+
+    /// One representative per isomorphism class of members with `1..=max_size`
+    /// elements (the canonical chains). As with
+    /// [`crate::EquivalenceClass::members_up_to`], an accepting run exists on
+    /// a member iff it exists on its canonical chain, so this list is a
+    /// complete brute-force emptiness basis up to the bound.
+    pub fn members_up_to(&self, max_size: usize) -> Vec<Structure> {
+        (1..=max_size).map(|n| self.chain_structure(n)).collect()
+    }
+
     /// Membership: a strict total order. Exposed for baselines and tests.
     pub fn is_member(&self, s: &Structure) -> bool {
         let n = s.size();

@@ -27,7 +27,7 @@ pub enum Instr {
 
 /// A two-counter machine: the halting problem for these is undecidable,
 /// which is what Facts 15/16 and Theorem 17 reduce from.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CounterMachine {
     /// Program; location 0 is initial.
     pub program: Vec<Instr>,

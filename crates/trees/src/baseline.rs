@@ -204,6 +204,18 @@ fn truncate_tree(t: &mut Tree, states: &mut Vec<u32>, snapshot_len: usize, v: us
     states.truncate(snapshot_len);
 }
 
+/// Whether the automaton accepts at least one tree with at most `max_nodes`
+/// nodes — the validity probe scenario generators use before handing an
+/// automaton to the engine or the baselines.
+pub fn language_nonempty(aut: &TreeAutomaton, max_nodes: usize) -> bool {
+    let mut any = false;
+    for_each_accepted_run(aut, max_nodes, |_, _| {
+        any = true;
+        false
+    });
+    any
+}
+
 /// Bounded emptiness: every accepted tree with at most `max_nodes` nodes.
 pub fn bounded_emptiness(
     aut: &TreeAutomaton,

@@ -34,6 +34,14 @@ pub fn accepting_sequences(class: &WordClass, max_len: usize) -> Vec<Vec<NfaStat
     out
 }
 
+/// Whether `L` contains a word of at most `max_len` positions — the
+/// validity probe scenario generators use before handing an automaton to
+/// the engine or the baselines ([`crate::Nfa::new`] already rejects empty
+/// languages; this additionally bounds the shortest witness).
+pub fn language_nonempty(class: &WordClass, max_len: usize) -> bool {
+    !accepting_sequences(class, max_len).is_empty()
+}
+
 /// Bounded emptiness: tries every word of `L` up to `max_len` positions.
 /// Complete only up to the bound — the point of Theorem 10 is that the
 /// symbolic engine needs no bound.

@@ -182,6 +182,50 @@ fn linear_order_nonempty() {
     assert_deterministic(&class, &system, true);
 }
 
+#[test]
+fn equivalence_class_both_polarities() {
+    // Nonempty: walk to a register outside x's block, then back into it.
+    let class = EquivalenceClass::new();
+    let mut b = SystemBuilder::new(class.schema().clone(), &["x", "y"]);
+    b.state("s").initial();
+    b.state("m");
+    b.state("t").accepting();
+    b.rule("s", "m", "x_old = x_new & !(x_old ~ y_new)")
+        .unwrap();
+    b.rule("m", "t", "x_old = x_new & x_new ~ y_new & !(y_old ~ y_new)")
+        .unwrap();
+    let system = b.finish().unwrap();
+    assert_deterministic(&class, &system, true);
+
+    // Empty: `~` is symmetric, so a one-directional similarity is absurd.
+    let mut b = SystemBuilder::new(class.schema().clone(), &["x", "y"]);
+    b.state("s").initial();
+    b.state("t").accepting();
+    b.rule("s", "t", "x_old ~ y_old & !(y_old ~ x_old)")
+        .unwrap();
+    let system = b.finish().unwrap();
+    assert_deterministic(&class, &system, false);
+}
+
+#[test]
+fn counter_machine_fact15_both_polarities() {
+    use dds::reductions::counter::CounterMachine;
+    use dds::reductions::words_succ;
+
+    // Halting machine: the Fact 15 system is non-empty over the free
+    // successor class (a long-enough line hosts the halting run).
+    let halting = CounterMachine::count_up_down(2);
+    let system = words_succ::fact15_system(&halting);
+    let class = FreeRelationalClass::new(words_succ::succ_schema());
+    assert_deterministic(&class, &system, true);
+
+    // A machine whose program never reaches `halt`: empty over *any*
+    // database, which the engine proves outright.
+    let diverging = CounterMachine::diverges();
+    let system = words_succ::fact15_system(&diverging);
+    assert_deterministic(&class, &system, false);
+}
+
 /// The `threads = 0` auto setting must also agree (it resolves to whatever
 /// the host offers, including 1).
 #[test]
