@@ -3,9 +3,13 @@
 //! Two modes, combinable:
 //!
 //! * **Record** (default): runs every experiment on a small smoke-sized
-//!   workload and writes one JSON object per experiment —
-//!   `{"id", "wall_ns", "configs_explored", "outcome"}` — as a JSON array to
-//!   `--out PATH` (default `BENCH_E1_E10.json`).
+//!   workload and writes one record per experiment —
+//!   `{"id", "wall_ns", "configs_explored", "outcome"}` — as a versioned
+//!   JSON report document (`{"schema_version": 1, "kind": "bench",
+//!   "records": [...]}` — the same schema `dds verify --json`, `dds fuzz
+//!   --json` and the serve load harness emit; see
+//!   `docs/SPEC_LANGUAGE.md`) to `--out PATH` (default
+//!   `BENCH_E1_E10.json`).
 //! * **Gate** (`--gate BASELINE.json`): after recording, compares each
 //!   experiment's `wall_ns` against the committed baseline and exits
 //!   non-zero when any experiment regressed by more than the allowed ratio
@@ -24,9 +28,10 @@
 //! cargo run --release -p dds_bench --bin experiments_json -- --out bench/baseline.json
 //! ```
 //!
-//! The JSON reader in the gate is intentionally minimal: it parses exactly
-//! the flat `[{...}, ...]` shape this writer produces (which is also valid
-//! JSON for any standards-compliant consumer).
+//! The JSON reader in the gate is intentionally minimal: it parses the
+//! record objects out of the documents this writer produces (it also still
+//! reads the pre-`schema_version` flat-array shape, so old baselines keep
+//! gating until refreshed).
 
 use dds_bench::{chain_system, cycle_template, example1, graph_schema, run_engine, run_free};
 use dds_core::{DataClass, DataSpec, Engine, FreeRelationalClass, SymbolicClass};
@@ -270,19 +275,11 @@ fn run_all(reps: u32) -> Vec<Record> {
 }
 
 fn write_json(path: &str, records: &[Record]) -> std::io::Result<()> {
-    let mut s = String::from("[\n");
-    for (i, r) in records.iter().enumerate() {
-        s.push_str(&format!(
-            "  {{\"id\":\"{}\",\"wall_ns\":{},\"configs_explored\":{},\"outcome\":\"{}\"}}{}\n",
-            r.id,
-            r.wall_ns,
-            r.configs_explored,
-            r.outcome,
-            if i + 1 == records.len() { "" } else { "," }
-        ));
-    }
-    s.push_str("]\n");
-    std::fs::write(path, s)
+    let rendered: Vec<String> = records
+        .iter()
+        .map(|r| dds_cli::render::record(r.id, r.wall_ns, r.configs_explored, &r.outcome))
+        .collect();
+    std::fs::write(path, dds_cli::render::document("bench", &rendered))
 }
 
 /// Extracts `"key":<value>` from one serialized object, where the value is a
@@ -308,7 +305,11 @@ fn read_baseline(path: &str) -> Result<Vec<(String, u128)>, String> {
     let mut out = Vec::new();
     for obj in text.split('{').skip(1) {
         let obj = obj.split('}').next().unwrap_or("");
-        let id = extract_field(obj, "id").ok_or_else(|| format!("{path}: object without id"))?;
+        // The document wrapper (`"schema_version": ..., "records": [`) is
+        // not a record; records are exactly the objects carrying an `id`.
+        let Some(id) = extract_field(obj, "id") else {
+            continue;
+        };
         let wall: u128 = extract_field(obj, "wall_ns")
             .and_then(|w| w.parse().ok())
             .ok_or_else(|| format!("{path}: bad wall_ns for {id}"))?;

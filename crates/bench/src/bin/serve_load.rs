@@ -1,0 +1,463 @@
+//! `serve_load` — the load and conformance harness for `dds serve`.
+//!
+//! Starts an in-process daemon ([`dds_cli::serve::Server`]), fires a spec
+//! corpus through it from concurrent client threads, and writes a
+//! `kind: "serve-load"` JSON document in the shared report schema
+//! (`bench/serve_baseline.json` is a committed run of this binary).
+//!
+//! Three phases:
+//!
+//! 1. **Conformance** — every corpus spec is verified twice, once through
+//!    the library surface ([`dds_cli::VerifyRequest`]) and once over HTTP;
+//!    after `wall_ns` normalization the two JSON documents must be
+//!    byte-identical.
+//! 2. **Concurrency probe** — `--clients` distinct *heavy* specs (distinct
+//!    system names, so distinct cache fingerprints) are released
+//!    simultaneously through a [`std::sync::Barrier`]; the daemon's
+//!    `peak_in_flight` gauge must reach the client count, proving the
+//!    worker pool really overlaps verifications. Per-request latencies
+//!    from this phase are the *cold* sample.
+//! 3. **Cache-hit replay** — the same heavy specs are replayed
+//!    `--hit-reps` times per client; latencies are the *hit* sample and
+//!    every response must be byte-identical to the cold body (the cache
+//!    stores rendered bytes, so replays are exact).
+//!
+//! `--gate` enforces the service-level acceptance floor: conformance
+//! clean, peak in-flight ≥ min(clients, workers), and hit p50 at least
+//! 10× faster than cold p50.
+
+use std::path::Path;
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::Instant;
+
+use dds_cli::render;
+use dds_cli::serve::{client, ServeOptions, Server};
+use dds_cli::VerifyRequest;
+use dds_gen::{generate_seeded, ClassKind};
+
+const USAGE: &str = "usage: serve_load [options]
+  --specs DIR     corpus directory of .dds files (repeatable; default: specs specs/fuzz)
+  --gen N         add N generated scenarios to the corpus (default 12)
+  --seed S        base seed for generated scenarios (default 7)
+  --clients N     concurrent client threads (default 8)
+  --workers N     server worker threads (default 8)
+  --hit-reps N    cache-hit replays per client (default 20)
+  --out PATH      write the serve-load JSON document to PATH
+  --gate          enforce acceptance thresholds (exit 1 on violation)
+";
+
+struct Args {
+    specs: Vec<String>,
+    gen: u64,
+    seed: u64,
+    clients: usize,
+    workers: usize,
+    hit_reps: usize,
+    out: Option<String>,
+    gate: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        specs: Vec::new(),
+        gen: 12,
+        seed: 7,
+        clients: 8,
+        workers: 8,
+        hit_reps: 20,
+        out: None,
+        gate: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let need = |i: usize| -> Result<&String, String> {
+            argv.get(i + 1)
+                .ok_or_else(|| format!("{} needs a value", argv[i]))
+        };
+        match argv[i].as_str() {
+            "--specs" => {
+                args.specs.push(need(i)?.clone());
+                i += 1;
+            }
+            "--gen" => {
+                args.gen = need(i)?.parse().map_err(|_| "bad --gen")?;
+                i += 1;
+            }
+            "--seed" => {
+                args.seed = need(i)?.parse().map_err(|_| "bad --seed")?;
+                i += 1;
+            }
+            "--clients" => {
+                args.clients = need(i)?.parse().map_err(|_| "bad --clients")?;
+                i += 1;
+            }
+            "--workers" => {
+                args.workers = need(i)?.parse().map_err(|_| "bad --workers")?;
+                i += 1;
+            }
+            "--hit-reps" => {
+                args.hit_reps = need(i)?.parse().map_err(|_| "bad --hit-reps")?;
+                i += 1;
+            }
+            "--out" => {
+                args.out = Some(need(i)?.clone());
+                i += 1;
+            }
+            "--gate" => args.gate = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    if args.specs.is_empty() {
+        args.specs = vec!["specs".into(), "specs/fuzz".into()];
+    }
+    args.clients = args.clients.max(1);
+    args.workers = args.workers.max(1);
+    Ok(args)
+}
+
+/// A corpus entry: a display id and the `.dds` source text.
+struct Item {
+    id: String,
+    text: String,
+}
+
+fn read_corpus(dirs: &[String]) -> Vec<Item> {
+    let mut items = Vec::new();
+    for dir in dirs {
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            eprintln!("serve_load: warning: cannot read {dir}, skipping");
+            continue;
+        };
+        let mut paths: Vec<_> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "dds") && p.is_file())
+            .collect();
+        paths.sort();
+        for p in paths {
+            match std::fs::read_to_string(&p) {
+                Ok(text) => items.push(Item {
+                    id: p.display().to_string(),
+                    text,
+                }),
+                Err(e) => eprintln!("serve_load: warning: {}: {e}", p.display()),
+            }
+        }
+    }
+    items
+}
+
+fn generated_corpus(n: u64, seed: u64) -> Vec<Item> {
+    (0..n)
+        .map(|i| {
+            let kind = ClassKind::ALL[(i as usize) % ClassKind::ALL.len()];
+            let sc = generate_seeded(kind, seed, i, 6);
+            Item {
+                id: format!("gen::{}::seed{seed}::iter{i}", kind.keyword()),
+                text: sc.render(),
+            }
+        })
+        .collect()
+}
+
+/// A heavy free-class spec with an unreachable accept state: the engine
+/// must exhaust the whole 2-register amalgamation space (~90 ms), so
+/// concurrent cold runs genuinely overlap. Distinct `index` values give
+/// distinct system names, hence distinct cache fingerprints.
+fn probe_spec(index: usize) -> String {
+    format!(
+        "system probe_{index}\n\
+         schema {{\n  relation E/2\n  relation red/1\n}}\n\
+         class free\n\
+         registers x y\n\
+         states {{\n  s0 init\n  s1\n  s2\n  acc\n}}\n\
+         rule s0 -> s1: E(x_old, x_new) & E(y_old, y_new)\n\
+         rule s1 -> s2: E(x_new, x_old) & red(y_new)\n\
+         rule s2 -> s1: E(x_old, x_new) & E(y_new, y_old)\n\
+         rule s1 -> s0: E(y_new, y_old) & red(x_new)\n\
+         property reach {{\n  accept acc\n}}\n"
+    )
+}
+
+fn percentile(sorted_ns: &[u128], p: f64) -> u128 {
+    if sorted_ns.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted_ns.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ns[rank.min(sorted_ns.len() - 1)]
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("serve_load: {e}\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut corpus = read_corpus(&args.specs);
+    corpus.extend(generated_corpus(args.gen, args.seed));
+    if corpus.is_empty() {
+        eprintln!("serve_load: empty corpus");
+        std::process::exit(2);
+    }
+    println!(
+        "serve_load: corpus {} specs, {} clients, {} workers, {} hit reps",
+        corpus.len(),
+        args.clients,
+        args.workers,
+        args.hit_reps
+    );
+
+    let server = Server::start(ServeOptions {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: args.workers,
+        ..ServeOptions::default()
+    })
+    .unwrap_or_else(|e| {
+        eprintln!("serve_load: cannot start server: {e}");
+        std::process::exit(2);
+    });
+    let addr = server.addr();
+
+    // Phase 1: conformance — library run vs HTTP run, byte-identical after
+    // wall_ns normalization.
+    let t0 = Instant::now();
+    let mut mismatches = Vec::new();
+    let mut conforming = 0u64;
+    for item in &corpus {
+        let local = match VerifyRequest::new(item.text.clone())
+            .label(item.id.clone())
+            .verify()
+        {
+            Ok(r) => render::normalize_wall_ns(&render::json(&[r.report])),
+            Err(e) => {
+                // Spec diagnostics must round-trip too: the daemon answers 422.
+                match client::verify(&addr, &item.text, Some(&item.id), None) {
+                    Ok(resp) if resp.status == 422 => {
+                        conforming += 1;
+                    }
+                    Ok(resp) => mismatches.push(format!(
+                        "{}: local error ({e}) but server status {}",
+                        item.id, resp.status
+                    )),
+                    Err(io) => mismatches.push(format!("{}: client error {io}", item.id)),
+                }
+                continue;
+            }
+        };
+        match client::verify(&addr, &item.text, Some(&item.id), None) {
+            Ok(resp) if resp.status == 200 => {
+                if render::normalize_wall_ns(&resp.body) == local {
+                    conforming += 1;
+                } else {
+                    mismatches.push(format!("{}: body differs from library run", item.id));
+                }
+            }
+            Ok(resp) => mismatches.push(format!("{}: server status {}", item.id, resp.status)),
+            Err(io) => mismatches.push(format!("{}: client error {io}", item.id)),
+        }
+    }
+    let conformance_ns = t0.elapsed().as_nanos();
+    for m in &mismatches {
+        eprintln!("serve_load: CONFORMANCE MISMATCH {m}");
+    }
+    println!(
+        "serve_load: conformance {conforming}/{} specs byte-identical ({} mismatches)",
+        corpus.len(),
+        mismatches.len()
+    );
+
+    // Phase 2: concurrency probe — cold latencies on distinct heavy specs
+    // released together.
+    let barrier = Arc::new(Barrier::new(args.clients));
+    let cold_ns = Arc::new(Mutex::new(Vec::new()));
+    let cold_bodies = Arc::new(Mutex::new(vec![String::new(); args.clients]));
+    let mut handles = Vec::new();
+    for c in 0..args.clients {
+        let barrier = Arc::clone(&barrier);
+        let cold_ns = Arc::clone(&cold_ns);
+        let cold_bodies = Arc::clone(&cold_bodies);
+        handles.push(std::thread::spawn(move || {
+            let spec = probe_spec(c);
+            barrier.wait();
+            let t = Instant::now();
+            let resp = client::verify(&addr, &spec, Some(&format!("probe_{c}")), None)
+                .expect("probe request");
+            let dt = t.elapsed().as_nanos();
+            assert_eq!(resp.status, 200, "probe_{c}: {}", resp.body);
+            cold_ns.lock().unwrap().push(dt);
+            cold_bodies.lock().unwrap()[c] = resp.body;
+        }));
+    }
+    for h in handles {
+        h.join().expect("probe client");
+    }
+    let peak_in_flight = server.peak_in_flight();
+    let mut cold: Vec<u128> = Arc::try_unwrap(cold_ns).unwrap().into_inner().unwrap();
+    cold.sort_unstable();
+    let cold_p50 = percentile(&cold, 0.5);
+    let cold_p99 = percentile(&cold, 0.99);
+    println!(
+        "serve_load: cold p50 {:.2} ms, p99 {:.2} ms, peak in-flight {peak_in_flight}",
+        cold_p50 as f64 / 1e6,
+        cold_p99 as f64 / 1e6
+    );
+
+    // Phase 3: cache-hit replay — same specs, now cached; bodies must be
+    // byte-identical to the cold responses.
+    let cold_bodies = Arc::try_unwrap(cold_bodies).unwrap().into_inner().unwrap();
+    let cold_bodies = Arc::new(cold_bodies);
+    let barrier = Arc::new(Barrier::new(args.clients));
+    let hit_ns = Arc::new(Mutex::new(Vec::new()));
+    let replay_mismatches = Arc::new(Mutex::new(0u64));
+    let t_hits = Instant::now();
+    let mut handles = Vec::new();
+    for c in 0..args.clients {
+        let barrier = Arc::clone(&barrier);
+        let hit_ns = Arc::clone(&hit_ns);
+        let cold_bodies = Arc::clone(&cold_bodies);
+        let replay_mismatches = Arc::clone(&replay_mismatches);
+        let reps = args.hit_reps;
+        handles.push(std::thread::spawn(move || {
+            let spec = probe_spec(c);
+            barrier.wait();
+            let mut local = Vec::with_capacity(reps);
+            for _ in 0..reps {
+                let t = Instant::now();
+                let resp = client::verify(&addr, &spec, Some(&format!("probe_{c}")), None)
+                    .expect("hit request");
+                local.push(t.elapsed().as_nanos());
+                assert_eq!(resp.status, 200);
+                if resp.body != cold_bodies[c] {
+                    *replay_mismatches.lock().unwrap() += 1;
+                }
+            }
+            hit_ns.lock().unwrap().extend(local);
+        }));
+    }
+    for h in handles {
+        h.join().expect("hit client");
+    }
+    let hit_wall_ns = t_hits.elapsed().as_nanos();
+    let mut hits: Vec<u128> = Arc::try_unwrap(hit_ns).unwrap().into_inner().unwrap();
+    hits.sort_unstable();
+    let hit_p50 = percentile(&hits, 0.5);
+    let hit_p99 = percentile(&hits, 0.99);
+    let replay_mismatches = *replay_mismatches.lock().unwrap();
+    let hit_count = hits.len() as u64;
+    let rps = if hit_wall_ns > 0 {
+        hit_count as f64 * 1e9 / hit_wall_ns as f64
+    } else {
+        0.0
+    };
+    let speedup = if hit_p50 > 0 {
+        cold_p50 as f64 / hit_p50 as f64
+    } else {
+        f64::INFINITY
+    };
+    println!(
+        "serve_load: hit p50 {:.3} ms, p99 {:.3} ms, {hit_count} replays ({replay_mismatches} mismatches), {rps:.0} req/s, speedup {speedup:.1}x",
+        hit_p50 as f64 / 1e6,
+        hit_p99 as f64 / 1e6
+    );
+
+    let stats = server.shutdown();
+    println!(
+        "serve_load: server totals: {} requests, {} verifications, {} engine runs, {} cache hits (rate {:.2})",
+        stats.requests,
+        stats.verifications,
+        stats.engine_runs,
+        stats.cache_hits,
+        stats.cache_hit_rate()
+    );
+
+    // The serve-load document: latency aggregates in the shared record
+    // shape (`wall_ns` carries the measured value, `configs_explored` the
+    // sample count or gauge).
+    let conf_outcome = if mismatches.is_empty() { "ok" } else { "fail" };
+    let want_in_flight = args.clients.min(args.workers);
+    let probe_outcome = if peak_in_flight >= want_in_flight {
+        "ok"
+    } else {
+        "fail"
+    };
+    let replay_outcome = if replay_mismatches == 0 { "ok" } else { "fail" };
+    let records = vec![
+        render::record(
+            "serve::conformance",
+            conformance_ns,
+            conforming,
+            conf_outcome,
+        ),
+        render::record(
+            "serve::peak_in_flight",
+            0,
+            peak_in_flight as u64,
+            probe_outcome,
+        ),
+        render::record("serve::cold_p50", cold_p50, cold.len() as u64, "ok"),
+        render::record("serve::cold_p99", cold_p99, cold.len() as u64, "ok"),
+        render::record("serve::hit_p50", hit_p50, hit_count, replay_outcome),
+        render::record("serve::hit_p99", hit_p99, hit_count, replay_outcome),
+        render::record(
+            "serve::hit_throughput",
+            hit_wall_ns,
+            hit_count,
+            &format!("{rps:.0} req/s"),
+        ),
+        render::record(
+            "serve::cache_hit_rate",
+            0,
+            (stats.cache_hit_rate() * 100.0).round() as u64,
+            "percent",
+        ),
+    ];
+    let doc = render::document("serve-load", &records);
+    if let Some(out) = &args.out {
+        if let Some(parent) = Path::new(out).parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        std::fs::write(out, &doc).unwrap_or_else(|e| {
+            eprintln!("serve_load: cannot write {out}: {e}");
+            std::process::exit(2);
+        });
+        println!("serve_load: wrote {out}");
+    } else {
+        print!("{doc}");
+    }
+
+    if args.gate {
+        let mut violations = Vec::new();
+        if !mismatches.is_empty() {
+            violations.push(format!("{} conformance mismatches", mismatches.len()));
+        }
+        if replay_mismatches != 0 {
+            violations.push(format!("{replay_mismatches} cache replay mismatches"));
+        }
+        if peak_in_flight < want_in_flight {
+            violations.push(format!(
+                "peak in-flight {peak_in_flight} < required {want_in_flight}"
+            ));
+        }
+        if hit_p50.saturating_mul(10) > cold_p50 {
+            violations.push(format!(
+                "cache speedup {speedup:.1}x < required 10x (cold p50 {cold_p50} ns, hit p50 {hit_p50} ns)"
+            ));
+        }
+        if violations.is_empty() {
+            println!("serve_load: GATE OK");
+        } else {
+            for v in &violations {
+                eprintln!("serve_load: GATE VIOLATION: {v}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

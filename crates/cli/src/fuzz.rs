@@ -280,10 +280,7 @@ fn round_trip(
             // Behavioral equality: the lowered class value must drive the
             // engine to the identical outcome and deterministic statistics
             // as the built class did in the diff's certified sequential leg.
-            let eo = EngineOptions {
-                max_configs: diff_opts.max_configs,
-                ..EngineOptions::default()
-            };
+            let eo = EngineOptions::default().max_configs(diff_opts.max_configs);
             let built_stats = diff
                 .engine_stats
                 .ok_or("round-trip: diff report has no engine leg for this class")?;
@@ -456,6 +453,34 @@ pub fn render_report(report: &FuzzReport) -> String {
         report.failures.len()
     );
     out
+}
+
+/// Renders the run as a versioned JSON document (`kind: "fuzz"`, the
+/// shared record shape — see `docs/SPEC_LANGUAGE.md`): one record per
+/// class summarizing its iterations (`configs_explored` carries the
+/// iteration count; `outcome` is `pass` or `fail`), plus one record per
+/// failure. Deterministic: `wall_ns` is always 0 here (fuzz timing is
+/// seed-independent noise, and the golden suite pins these bytes).
+pub fn json_report(report: &FuzzReport) -> String {
+    let mut records = Vec::new();
+    for (kind, s) in &report.classes {
+        let failed = report.failures.iter().any(|f| f.class == *kind);
+        records.push(crate::render::record(
+            &format!("fuzz::{}", kind.keyword()),
+            0,
+            s.iters,
+            if failed { "fail" } else { "pass" },
+        ));
+    }
+    for f in &report.failures {
+        records.push(crate::render::record(
+            &format!("fuzz::{}::iter{}", f.class.keyword(), f.iteration),
+            0,
+            0,
+            &format!("fail: {}", f.reason.lines().next().unwrap_or("")),
+        ));
+    }
+    crate::render::document("fuzz", &records)
 }
 
 #[cfg(test)]

@@ -31,22 +31,39 @@
 //! requires parse + lower to reproduce the directly-built systems
 //! rule-for-rule — on top of four-way engine agreement and brute-force
 //! baseline checks.
+//!
+//! Two more layers sit on top of the pipeline:
+//!
+//! * [`api`] — the embeddable library surface
+//!   ([`api::VerifyRequest`] → [`api::VerifyReport`]): no I/O, no
+//!   printing, no exiting, structured [`api::RunError`] values, and the
+//!   content fingerprint the result cache keys on. The CLI, the server
+//!   and the bench/load harnesses all verify through it.
+//! * [`serve`] — `dds serve`, a long-running multi-tenant daemon:
+//!   HTTP/1.1 over [`std::net`], a bounded worker pool, per-request
+//!   timeouts, and a single-flight content-hash result cache. Responses
+//!   are the exact [`render::json`] documents the CLI prints.
 
 #![warn(missing_docs)]
 
 use std::fmt;
 
+pub mod api;
 pub mod ast;
 pub mod fuzz;
+pub mod json;
 pub mod lower;
 pub mod parse;
 pub mod render;
 pub mod runner;
+pub mod serve;
 
+pub use api::{RunError, VerifyReport, VerifyRequest};
 pub use ast::Spec;
 pub use lower::{lower, AnyClass, Lowered, LoweredProperty, Task};
 pub use parse::parse_spec;
 pub use runner::{run_spec, PropertyReport, RunOptions, SpecReport};
+pub use serve::{ServeOptions, Server};
 
 /// An error in a `.dds` specification: where and what.
 ///

@@ -4,6 +4,7 @@
 //! dds verify [OPTIONS] FILE...   parse, lower and verify .dds specifications
 //! dds check FILE...              parse and lower only (spec linting)
 //! dds fuzz [FUZZ-OPTIONS]        differential fuzzing across all classes
+//! dds serve [SERVE-OPTIONS]      long-running HTTP verification daemon
 //!
 //! OPTIONS
 //!   --json            emit JSON records (the BENCH_E1_E10.json shape)
@@ -23,7 +24,8 @@
 //! occurred.
 
 use dds_cli::fuzz::{self, FuzzOptions};
-use dds_cli::{load_spec, render, run_spec, RunOptions};
+use dds_cli::serve::{ServeOptions, Server};
+use dds_cli::{render, RunError, RunOptions, VerifyRequest};
 use dds_gen::ClassKind;
 use std::process::ExitCode;
 
@@ -38,11 +40,38 @@ struct Args {
 
 const USAGE: &str = "usage: dds <verify|check> [--json] [--out PATH] [--threads N] \
                      [--chunk-size N] [--max-configs N] [--no-certify] [--timings] FILE...\n\
-                     \x20      dds fuzz [FUZZ-OPTIONS]   (see `dds fuzz --help`)";
+                     \x20      dds fuzz [FUZZ-OPTIONS]    (see `dds fuzz --help`)\n\
+                     \x20      dds serve [SERVE-OPTIONS]  (see `dds serve --help`)";
+
+const SERVE_USAGE: &str = "\
+usage: dds serve [--addr HOST:PORT] [--workers N] [--timeout-ms N]
+                 [--max-request-bytes N] [--cache-capacity N]
+                 [--threads N] [--chunk-size N] [--max-configs N] [--no-certify]
+
+A long-running verification daemon. POST a .dds spec as JSON and get back
+the same versioned JSON report document `dds verify --json` prints:
+
+  curl -s http://127.0.0.1:7878/verify -d '{\"spec\":\"...\"}'
+
+Endpoints: POST /verify, GET /health, GET /stats, POST /shutdown.
+Identical systems are answered from a content-hash result cache; requests
+beyond the worker queue are shed with 503; a graceful shutdown
+(POST /shutdown) drains queued and in-flight work before exiting.
+
+OPTIONS
+  --addr HOST:PORT       bind address (default 127.0.0.1:7878; :0 = ephemeral)
+  --workers N            worker threads / max concurrent verifications (default 8)
+  --timeout-ms N         per-request verification timeout (default 30000)
+  --max-request-bytes N  request body size limit (default 1048576)
+  --cache-capacity N     result cache entries, FIFO eviction (default 4096)
+  --threads N, --chunk-size N, --max-configs N, --no-certify
+                         default engine tuning (a request's `options` object
+                         overrides per field)";
 
 const FUZZ_USAGE: &str = "\
 usage: dds fuzz [--seed N] [--iters N] [--class LIST] [--max-size N]
                 [--threads N] [--max-configs N] [--out DIR] [--emit-corpus DIR]
+                [--json]
 
 Differential fuzzing: generates seeded random systems across the eight
 structure classes (free, hom, equivalence, linear-order, words, trees,
@@ -70,6 +99,7 @@ OPTIONS
   --max-configs N   engine exploration budget per leg (default 100000)
   --out DIR         directory for minimized repros (default .)
   --emit-corpus DIR write every passing spec (outcome stamped as `expect`)
+  --json            emit the versioned JSON report document instead of text
   --inject-failure CLASS:ITER
                     test hook: force one iteration to fail";
 
@@ -132,7 +162,9 @@ fn run_fuzz(argv: &[String]) -> ExitCode {
         println!("{FUZZ_USAGE}");
         return ExitCode::SUCCESS;
     }
-    let opts = match parse_fuzz_args(argv) {
+    let json = argv.iter().any(|a| a == "--json");
+    let argv: Vec<String> = argv.iter().filter(|a| *a != "--json").cloned().collect();
+    let opts = match parse_fuzz_args(&argv) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("{e}");
@@ -146,12 +178,79 @@ fn run_fuzz(argv: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    print!("{}", fuzz::render_report(&report));
+    if json {
+        print!("{}", fuzz::json_report(&report));
+    } else {
+        print!("{}", fuzz::render_report(&report));
+    }
     if report.passed() {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(1)
     }
+}
+
+fn parse_serve_args(argv: &[String]) -> Result<ServeOptions, String> {
+    let mut opts = ServeOptions::default();
+    let mut it = argv.iter();
+    let value = |flag: &str, v: Option<&String>| -> Result<String, String> {
+        v.cloned()
+            .ok_or_else(|| format!("{flag} needs a value\n{SERVE_USAGE}"))
+    };
+    let numeric = |flag: &str, v: Option<&String>| -> Result<usize, String> {
+        value(flag, v)?
+            .parse()
+            .map_err(|_| format!("{flag} needs a number\n{SERVE_USAGE}"))
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => opts.addr = value("--addr", it.next())?,
+            "--workers" => opts.workers = numeric("--workers", it.next())?,
+            "--timeout-ms" => opts.timeout_ms = numeric("--timeout-ms", it.next())? as u64,
+            "--max-request-bytes" => {
+                opts.max_request_bytes = numeric("--max-request-bytes", it.next())?
+            }
+            "--cache-capacity" => opts.cache_capacity = numeric("--cache-capacity", it.next())?,
+            "--threads" => opts.run.threads = numeric("--threads", it.next())?,
+            "--chunk-size" => opts.run.chunk_size = numeric("--chunk-size", it.next())?,
+            "--max-configs" => opts.run.max_configs = numeric("--max-configs", it.next())?,
+            "--no-certify" => opts.run.concretize = false,
+            other => return Err(format!("unknown serve flag `{other}`\n{SERVE_USAGE}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn run_serve(argv: &[String]) -> ExitCode {
+    if argv.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{SERVE_USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let opts = match parse_serve_args(argv) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let workers = opts.workers;
+    let server = match Server::start(opts) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "dds serve listening on http://{} ({workers} workers); POST /shutdown to drain",
+        server.addr()
+    );
+    let stats = server.wait();
+    println!(
+        "dds serve drained: {} requests, {} verifications ({} engine runs, {} cache hits, {} timeouts)",
+        stats.requests, stats.verifications, stats.engine_runs, stats.cache_hits, stats.timeouts
+    );
+    ExitCode::SUCCESS
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -199,6 +298,7 @@ fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match argv.first().map(String::as_str) {
         Some("fuzz") => return run_fuzz(&argv[1..]),
+        Some("serve") => return run_serve(&argv[1..]),
         Some("help" | "--help" | "-h") => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -213,32 +313,35 @@ fn main() -> ExitCode {
         }
     };
 
+    // The CLI is a thin shell over the library API: every failure below is
+    // a `RunError` value that main (and only main) turns into stderr text
+    // and an exit code.
     let mut reports = Vec::new();
     for path in &args.files {
-        let src = match std::fs::read_to_string(path) {
-            Ok(s) => s,
+        let request = match VerifyRequest::from_file(path) {
+            Ok(r) => r.options(args.options),
             Err(e) => {
-                eprintln!("{path}: {e}");
+                eprintln!("{e}");
                 return ExitCode::from(2);
             }
         };
-        let lowered = match load_spec(&src) {
+        let loaded = match request.load() {
             Ok(l) => l,
-            Err(e) => {
-                eprintln!("{}", e.with_path(path));
+            Err(e @ RunError::Spec { .. }) | Err(e @ RunError::Io { .. }) => {
+                eprintln!("{e}");
                 return ExitCode::from(2);
             }
         };
         if args.command == "check" {
             println!(
                 "ok: {path} (system {}, {}, {} properties)",
-                lowered.name,
-                lowered.class.describe(),
-                lowered.properties.len()
+                loaded.lowered.name,
+                loaded.lowered.class.describe(),
+                loaded.lowered.properties.len()
             );
             continue;
         }
-        reports.push(run_spec(path, &lowered, &args.options));
+        reports.push(request.run_loaded(&loaded).report);
     }
     if args.command == "check" {
         return ExitCode::SUCCESS;

@@ -1,8 +1,68 @@
-//! Rendering reports: human-readable text and `BENCH_E1_E10.json`-shaped
-//! JSON records.
+//! Rendering reports: human-readable text and the versioned JSON report
+//! documents.
+//!
+//! Every JSON artifact the workspace produces — `dds verify --json`,
+//! `dds fuzz --json`, the E1–E10 bench runner, the `dds serve` wire
+//! protocol and the serve load harness — shares one documented document
+//! shape (see `docs/SPEC_LANGUAGE.md` § "The JSON report schema"):
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "kind": "verify",
+//!   "records": [
+//!     {"id": "...", "wall_ns": 0, "configs_explored": 0, "outcome": "..."}
+//!   ]
+//! }
+//! ```
+//!
+//! `schema_version` is bumped on any incompatible change; `kind`
+//! distinguishes producers (`verify`, `fuzz`, `bench`, `serve-load`) while
+//! the record shape stays identical, so downstream consumers parse one
+//! format. [`document`] is the shared assembler.
 
 use crate::runner::SpecReport;
 use std::fmt::Write as _;
+
+/// The JSON report schema version this workspace writes.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Assembles a versioned JSON report document from pre-rendered record
+/// objects (each a complete `{...}` JSON object, no trailing comma).
+pub fn document(kind: &str, records: &[String]) -> String {
+    let mut s = format!(
+        "{{\n\"schema_version\": {SCHEMA_VERSION},\n\"kind\": \"{kind}\",\n\"records\": [\n"
+    );
+    for (i, r) in records.iter().enumerate() {
+        let _ = writeln!(s, "  {r}{}", if i + 1 == records.len() { "" } else { "," });
+    }
+    s.push_str("]\n}\n");
+    s
+}
+
+/// Renders one record object in the shared shape.
+pub fn record(id: &str, wall_ns: u128, configs_explored: u64, outcome: &str) -> String {
+    format!(
+        "{{\"id\":\"{}\",\"wall_ns\":{},\"configs_explored\":{},\"outcome\":\"{}\"}}",
+        crate::json::escape(id),
+        wall_ns,
+        configs_explored,
+        crate::json::escape(outcome),
+    )
+}
+
+/// Renders a structured error document (the `dds serve` error responses).
+pub fn error_json(code: &str, message: &str, line: Option<usize>) -> String {
+    let line_field = match line {
+        Some(n) => format!(",\"line\":{n}"),
+        None => String::new(),
+    };
+    format!(
+        "{{\n\"schema_version\": {SCHEMA_VERSION},\n\"kind\": \"error\",\n\"error\": {{\"code\":\"{}\",\"message\":\"{}\"{line_field}}}\n}}\n",
+        crate::json::escape(code),
+        crate::json::escape(message),
+    )
+}
 
 /// Renders one spec report as text.
 ///
@@ -54,27 +114,18 @@ pub fn text(report: &SpecReport, timings: bool) -> String {
     out
 }
 
-/// Renders reports as a JSON array of
-/// `{"id", "wall_ns", "configs_explored", "outcome"}` records — the exact
-/// shape `BENCH_E1_E10.json` uses, so the two files are interchangeable for
-/// downstream consumers.
+/// Renders reports as a versioned JSON document (`kind: "verify"`) with
+/// one record per property — the same record shape `BENCH_E1_E10.json`
+/// uses, so downstream consumers parse one format. The `dds serve`
+/// `/verify` responses are produced by this exact function, which is what
+/// makes CLI and server outputs byte-identical (up to `wall_ns`).
 pub fn json(reports: &[SpecReport]) -> String {
-    let records: Vec<&crate::runner::PropertyReport> =
-        reports.iter().flat_map(|r| &r.properties).collect();
-    let mut s = String::from("[\n");
-    for (i, p) in records.iter().enumerate() {
-        let _ = writeln!(
-            s,
-            "  {{\"id\":\"{}\",\"wall_ns\":{},\"configs_explored\":{},\"outcome\":\"{}\"}}{}",
-            p.id,
-            p.wall_ns,
-            p.configs_explored,
-            p.outcome,
-            if i + 1 == records.len() { "" } else { "," }
-        );
-    }
-    s.push_str("]\n");
-    s
+    let records: Vec<String> = reports
+        .iter()
+        .flat_map(|r| &r.properties)
+        .map(|p| record(&p.id, p.wall_ns, p.configs_explored, &p.outcome))
+        .collect();
+    document("verify", &records)
 }
 
 /// Zeroes the `wall_ns` fields of a rendered JSON string — the normalization

@@ -34,13 +34,11 @@ impl Default for RunOptions {
 
 impl RunOptions {
     fn engine_options(&self) -> EngineOptions {
-        EngineOptions {
-            threads: self.threads,
-            chunk_size: self.chunk_size,
-            max_configs: self.max_configs,
-            concretize: self.concretize,
-            ..EngineOptions::default()
-        }
+        EngineOptions::default()
+            .threads(self.threads)
+            .chunk_size(self.chunk_size)
+            .max_configs(self.max_configs)
+            .concretize(self.concretize)
     }
 }
 

@@ -1,0 +1,795 @@
+//! `dds serve` — a multi-tenant verification daemon.
+//!
+//! A long-running HTTP/1.1 service (hand-rolled over [`std::net`]; the
+//! workspace builds offline, so no framework) that accepts `.dds` spec
+//! text as JSON and answers with the same versioned JSON report documents
+//! `dds verify --json` prints — byte-identical up to wall-clock timings,
+//! because both go through [`crate::api`] and [`crate::render::json`].
+//!
+//! ## Wire protocol
+//!
+//! * `POST /verify` — body `{"spec": "<.dds text>", "label"?: "name",
+//!   "options"?: {"threads": N, "chunk_size": N, "max_configs": N,
+//!   "certify": bool}}`. Responds `200` with a `kind: "verify"` report
+//!   document, or a `kind: "error"` document: `400` (malformed request),
+//!   `422` (spec error, with the diagnostic line), `413` (oversize),
+//!   `504` (verification timeout), `503` (overloaded or draining).
+//! * `GET /health` — liveness: `{"kind": "health", "status": "ok"}`.
+//! * `GET /stats` — counters: requests, verifications, engine runs, cache
+//!   hits/misses and hit rate, in-flight and peak in-flight requests,
+//!   plus the merged [`EngineStats`] of every engine run.
+//! * `POST /shutdown` — graceful drain: stop accepting, finish queued and
+//!   in-flight work, then exit.
+//!
+//! ## Architecture
+//!
+//! One non-blocking accept loop feeds a bounded queue consumed by a fixed
+//! pool of worker threads (connections beyond the backlog are answered
+//! `503` immediately — the daemon degrades by shedding load, not by
+//! queueing unboundedly). Each verification runs under a per-request
+//! timeout; a timed-out run is abandoned to finish in the background (the
+//! engine's `max_configs` budget bounds it) and its result still fills
+//! the cache. Workers are panic-isolated: a panicking request answers
+//! `500` and the worker lives on.
+//!
+//! ## The content-hash result cache
+//!
+//! Results are cached by [`crate::api::fingerprint`] — a content hash of
+//! the *parsed* spec and the outcome-relevant options, so equal specs
+//! hit regardless of label, whitespace or comment differences, and
+//! `threads`/`chunk_size` never split the cache (the engine is
+//! bit-deterministic across worker counts). Each entry is a
+//! [`OnceLock`]: concurrent requests for the same fingerprint elect
+//! exactly one engine run and everyone else blocks on (or replays) its
+//! bytes — the single-flight property `crates/cli/tests/serve.rs` pins.
+
+use crate::api::{RunError, VerifyRequest};
+use crate::json::{self, Value};
+use crate::render;
+use crate::runner::RunOptions;
+use dds_core::EngineStats;
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError, TrySendError};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Daemon configuration (`dds serve` flags lower into this).
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Bind address, e.g. `127.0.0.1:7878` (`:0` picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads — the bound on concurrent verifications.
+    pub workers: usize,
+    /// Per-request verification timeout in milliseconds.
+    pub timeout_ms: u64,
+    /// Maximum request body size in bytes.
+    pub max_request_bytes: usize,
+    /// Result-cache capacity in entries (FIFO eviction).
+    pub cache_capacity: usize,
+    /// Default engine tuning; `options` in a request overrides per field.
+    pub run: RunOptions,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            addr: "127.0.0.1:7878".to_owned(),
+            workers: 8,
+            timeout_ms: 30_000,
+            max_request_bytes: 1 << 20,
+            cache_capacity: 4096,
+            run: RunOptions::default(),
+        }
+    }
+}
+
+/// Deterministic service counters (`GET /stats`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServerStats {
+    /// HTTP requests handled (any endpoint, any status).
+    pub requests: u64,
+    /// `/verify` requests whose body parsed and spec lowered.
+    pub verifications: u64,
+    /// Verifications that actually ran the engine (cache misses).
+    pub engine_runs: u64,
+    /// Verifications answered from the cache (filled entry or a wait on an
+    /// in-flight identical request).
+    pub cache_hits: u64,
+    /// Requests rejected with a spec diagnostic (`422`).
+    pub spec_errors: u64,
+    /// Verifications abandoned at the timeout (`504`).
+    pub timeouts: u64,
+    /// Requests shed with `400`/`413`/`500`/`503`.
+    pub rejected: u64,
+    /// Merged [`EngineStats`] over every engine run.
+    pub engine: EngineStats,
+}
+
+impl ServerStats {
+    /// Cache hits over all cache probes (`0.0` before any verification).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let probes = self.cache_hits + self.engine_runs;
+        if probes == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / probes as f64
+        }
+    }
+}
+
+type CachedBody = Arc<String>;
+
+struct Cache {
+    map: HashMap<u128, Arc<OnceLock<CachedBody>>>,
+    order: VecDeque<u128>,
+    capacity: usize,
+}
+
+impl Cache {
+    fn entry(&mut self, key: u128) -> Arc<OnceLock<CachedBody>> {
+        if let Some(cell) = self.map.get(&key) {
+            return Arc::clone(cell);
+        }
+        while self.map.len() >= self.capacity.max(1) {
+            match self.order.pop_front() {
+                Some(old) => {
+                    self.map.remove(&old);
+                }
+                None => break,
+            }
+        }
+        let cell = Arc::new(OnceLock::new());
+        self.map.insert(key, Arc::clone(&cell));
+        self.order.push_back(key);
+        cell
+    }
+}
+
+struct Shared {
+    opts: ServeOptions,
+    stats: Mutex<ServerStats>,
+    cache: Mutex<Cache>,
+    in_flight: AtomicUsize,
+    peak_in_flight: AtomicUsize,
+    queued: AtomicUsize,
+    draining: AtomicBool,
+    // Background (timed-out but still running) verifications; drained on
+    // shutdown so their cache fills complete before the process exits.
+    background: AtomicU64,
+}
+
+/// A running daemon: bound address plus the handles needed to drain it.
+#[derive(Debug)]
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+// Shared contains no TcpStream; Debug is required by workspace lints.
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared")
+            .field("draining", &self.draining.load(Ordering::SeqCst))
+            .finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Binds the listener and spawns the accept loop and worker pool.
+    pub fn start(opts: ServeOptions) -> io::Result<Server> {
+        let listener = TcpListener::bind(&opts.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let workers = opts.workers.max(1);
+        let shared = Arc::new(Shared {
+            cache: Mutex::new(Cache {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+                capacity: opts.cache_capacity,
+            }),
+            opts,
+            stats: Mutex::new(ServerStats::default()),
+            in_flight: AtomicUsize::new(0),
+            peak_in_flight: AtomicUsize::new(0),
+            queued: AtomicUsize::new(0),
+            draining: AtomicBool::new(false),
+            background: AtomicU64::new(0),
+        });
+
+        // Bounded backlog: beyond it the accept loop sheds load with 503.
+        let (tx, rx) = mpsc::sync_channel::<TcpStream>(workers * 4 + 16);
+        let rx = Arc::new(Mutex::new(rx));
+        let mut worker_handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let rx = Arc::clone(&rx);
+            let shared = Arc::clone(&shared);
+            worker_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("dds-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&rx, &shared))?,
+            );
+        }
+
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::Builder::new()
+            .name("dds-serve-accept".to_owned())
+            .spawn(move || accept_loop(listener, tx, &accept_shared))?;
+
+        Ok(Server {
+            addr,
+            shared,
+            accept: Some(accept),
+            workers: worker_handles,
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A snapshot of the service counters.
+    pub fn stats(&self) -> ServerStats {
+        *self.shared.stats.lock().unwrap()
+    }
+
+    /// The high-water mark of concurrent in-flight verifications — the
+    /// load harness's proof that the worker pool overlaps work.
+    pub fn peak_in_flight(&self) -> usize {
+        self.shared.peak_in_flight.load(Ordering::SeqCst)
+    }
+
+    /// Requests a graceful drain (same effect as `POST /shutdown`): the
+    /// accept loop stops, queued and in-flight work finishes.
+    pub fn begin_shutdown(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Blocks until the daemon has drained and every thread has exited.
+    /// Returns the final counters.
+    pub fn wait(mut self) -> ServerStats {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        // Wait for abandoned (timed-out) verifications so their engine
+        // threads do not outlive the process's interest in them.
+        while self.shared.background.load(Ordering::SeqCst) > 0 {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        self.stats()
+    }
+
+    /// Convenience: `begin_shutdown` + `wait`.
+    pub fn shutdown(self) -> ServerStats {
+        self.begin_shutdown();
+        self.wait()
+    }
+}
+
+fn accept_loop(listener: TcpListener, tx: mpsc::SyncSender<TcpStream>, shared: &Arc<Shared>) {
+    loop {
+        if shared.draining.load(Ordering::SeqCst) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                shared.queued.fetch_add(1, Ordering::SeqCst);
+                match tx.try_send(stream) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(mut stream))
+                    | Err(TrySendError::Disconnected(mut stream)) => {
+                        shared.queued.fetch_sub(1, Ordering::SeqCst);
+                        shared.stats.lock().unwrap().rejected += 1;
+                        let body = render::error_json(
+                            "overloaded",
+                            "worker queue is full; retry later",
+                            None,
+                        );
+                        let _ = write_response(&mut stream, 503, "Service Unavailable", &body);
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    // Dropping the sender lets workers drain the queue and exit.
+}
+
+fn worker_loop(rx: &Arc<Mutex<mpsc::Receiver<TcpStream>>>, shared: &Arc<Shared>) {
+    loop {
+        // Hold the lock only to receive; processing happens outside it.
+        let stream = match rx.lock().unwrap().recv() {
+            Ok(s) => s,
+            Err(_) => return, // accept loop gone and queue drained
+        };
+        shared.queued.fetch_sub(1, Ordering::SeqCst);
+        let mut stream = stream;
+        let outcome = catch_unwind(AssertUnwindSafe(|| handle_connection(&mut stream, shared)));
+        if outcome.is_err() {
+            shared.stats.lock().unwrap().rejected += 1;
+            let body = render::error_json("internal-error", "request handler panicked", None);
+            let _ = write_response(&mut stream, 500, "Internal Server Error", &body);
+        }
+    }
+}
+
+/// A parsed request head: method, path, declared body length.
+struct RequestHead {
+    method: String,
+    path: String,
+    content_length: usize,
+}
+
+fn read_head(stream: &mut TcpStream) -> io::Result<(RequestHead, Vec<u8>)> {
+    const MAX_HEAD: usize = 16 * 1024;
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    let split = loop {
+        if let Some(i) = find_crlf2(&buf) {
+            break i;
+        }
+        if buf.len() > MAX_HEAD {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "request head too large",
+            ));
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-head",
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head_bytes = &buf[..split];
+    let body_prefix = buf[split + 4..].to_vec();
+    let head = std::str::from_utf8(head_bytes)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 request head"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or_default().to_owned();
+    let path = parts.next().unwrap_or_default().to_owned();
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().unwrap_or(0);
+            }
+        }
+    }
+    Ok((
+        RequestHead {
+            method,
+            path,
+            content_length,
+        },
+        body_prefix,
+    ))
+}
+
+fn find_crlf2(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn write_response(stream: &mut TcpStream, status: u16, reason: &str, body: &str) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+fn handle_connection(stream: &mut TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let _ = stream.set_nodelay(true);
+    shared.stats.lock().unwrap().requests += 1;
+
+    let (head, body_prefix) = match read_head(stream) {
+        Ok(h) => h,
+        Err(e) => {
+            shared.stats.lock().unwrap().rejected += 1;
+            let body = render::error_json("bad-request", &e.to_string(), None);
+            let _ = write_response(stream, 400, "Bad Request", &body);
+            return;
+        }
+    };
+
+    match (head.method.as_str(), head.path.as_str()) {
+        ("GET", "/health") => {
+            let status = if shared.draining.load(Ordering::SeqCst) {
+                "draining"
+            } else {
+                "ok"
+            };
+            let body = format!(
+                "{{\n\"schema_version\": {},\n\"kind\": \"health\",\n\"status\": \"{status}\",\n\"workers\": {},\n\"in_flight\": {}\n}}\n",
+                render::SCHEMA_VERSION,
+                shared.opts.workers,
+                shared.in_flight.load(Ordering::SeqCst),
+            );
+            let _ = write_response(stream, 200, "OK", &body);
+        }
+        ("GET", "/stats") => {
+            let body = stats_json(shared);
+            let _ = write_response(stream, 200, "OK", &body);
+        }
+        ("POST", "/shutdown") => {
+            shared.draining.store(true, Ordering::SeqCst);
+            let body = format!(
+                "{{\n\"schema_version\": {},\n\"kind\": \"health\",\n\"status\": \"draining\"\n}}\n",
+                render::SCHEMA_VERSION
+            );
+            let _ = write_response(stream, 200, "OK", &body);
+        }
+        ("POST", "/verify") => handle_verify(stream, shared, &head, body_prefix),
+        (_, path) => {
+            shared.stats.lock().unwrap().rejected += 1;
+            let body = render::error_json("not-found", &format!("no such endpoint: {path}"), None);
+            let _ = write_response(stream, 404, "Not Found", &body);
+        }
+    }
+}
+
+fn read_body(
+    stream: &mut TcpStream,
+    head: &RequestHead,
+    mut prefix: Vec<u8>,
+    limit: usize,
+) -> Result<String, (u16, &'static str, String)> {
+    if head.content_length > limit {
+        return Err((
+            413,
+            "Payload Too Large",
+            render::error_json(
+                "oversize",
+                &format!(
+                    "request body is {} bytes; the limit is {limit}",
+                    head.content_length
+                ),
+                None,
+            ),
+        ));
+    }
+    let mut body = Vec::with_capacity(head.content_length.min(limit));
+    body.append(&mut prefix);
+    while body.len() < head.content_length {
+        let mut chunk = [0u8; 4096];
+        let want = (head.content_length - body.len()).min(chunk.len());
+        match stream.read(&mut chunk[..want]) {
+            Ok(0) => break,
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Err(e) => {
+                return Err((
+                    400,
+                    "Bad Request",
+                    render::error_json("bad-request", &e.to_string(), None),
+                ))
+            }
+        }
+    }
+    body.truncate(head.content_length);
+    String::from_utf8(body).map_err(|_| {
+        (
+            400,
+            "Bad Request",
+            render::error_json("bad-request", "request body is not UTF-8", None),
+        )
+    })
+}
+
+/// Applies a request's `options` object on top of the server defaults.
+fn request_options(defaults: RunOptions, options: Option<&Value>) -> RunOptions {
+    let mut run = defaults;
+    if let Some(o) = options {
+        if let Some(n) = o.get("threads").and_then(Value::as_u64) {
+            run.threads = n as usize;
+        }
+        if let Some(n) = o.get("chunk_size").and_then(Value::as_u64) {
+            run.chunk_size = n as usize;
+        }
+        if let Some(n) = o.get("max_configs").and_then(Value::as_u64) {
+            run.max_configs = n as usize;
+        }
+        if let Some(b) = o.get("certify").and_then(Value::as_bool) {
+            run.concretize = b;
+        }
+    }
+    run
+}
+
+fn handle_verify(
+    stream: &mut TcpStream,
+    shared: &Arc<Shared>,
+    head: &RequestHead,
+    body_prefix: Vec<u8>,
+) {
+    let body = match read_body(stream, head, body_prefix, shared.opts.max_request_bytes) {
+        Ok(b) => b,
+        Err((status, reason, doc)) => {
+            shared.stats.lock().unwrap().rejected += 1;
+            let _ = write_response(stream, status, reason, &doc);
+            return;
+        }
+    };
+    let parsed = match json::parse(&body) {
+        Ok(v) => v,
+        Err(e) => {
+            shared.stats.lock().unwrap().rejected += 1;
+            let doc = render::error_json("bad-request", &e.to_string(), None);
+            let _ = write_response(stream, 400, "Bad Request", &doc);
+            return;
+        }
+    };
+    let Some(spec) = parsed.get("spec").and_then(Value::as_str) else {
+        shared.stats.lock().unwrap().rejected += 1;
+        let doc = render::error_json("bad-request", "missing string field `spec`", None);
+        let _ = write_response(stream, 400, "Bad Request", &doc);
+        return;
+    };
+    let label = parsed
+        .get("label")
+        .and_then(Value::as_str)
+        .unwrap_or("<request>")
+        .to_owned();
+    let run = request_options(shared.opts.run, parsed.get("options"));
+    let request = VerifyRequest::new(spec).label(label).options(run);
+
+    // Parse + lower up front: spec errors answer immediately, and the
+    // fingerprint comes from the parsed AST.
+    let loaded = match request.load() {
+        Ok(l) => l,
+        Err(RunError::Spec { error, .. }) => {
+            let mut stats = shared.stats.lock().unwrap();
+            stats.verifications += 1;
+            stats.spec_errors += 1;
+            drop(stats);
+            let doc = render::error_json("spec-error", &error.msg, error.line);
+            let _ = write_response(stream, 422, "Unprocessable Entity", &doc);
+            return;
+        }
+        Err(RunError::Io { message, .. }) => {
+            shared.stats.lock().unwrap().rejected += 1;
+            let doc = render::error_json("internal-error", &message, None);
+            let _ = write_response(stream, 500, "Internal Server Error", &doc);
+            return;
+        }
+    };
+    shared.stats.lock().unwrap().verifications += 1;
+
+    let in_flight = shared.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+    shared.peak_in_flight.fetch_max(in_flight, Ordering::SeqCst);
+    let result = verify_cached(shared, request, loaded);
+    shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+
+    match result {
+        Ok(bytes) => {
+            let _ = write_response(stream, 200, "OK", &bytes);
+        }
+        Err(timeout_ms) => {
+            shared.stats.lock().unwrap().timeouts += 1;
+            let doc = render::error_json(
+                "timeout",
+                &format!("verification exceeded {timeout_ms} ms and was abandoned"),
+                None,
+            );
+            let _ = write_response(stream, 504, "Gateway Timeout", &doc);
+        }
+    }
+}
+
+/// The single-flight cached verification. Returns the response body, or
+/// `Err(timeout_ms)` when the run outlived the per-request budget.
+fn verify_cached(
+    shared: &Arc<Shared>,
+    request: VerifyRequest,
+    loaded: crate::api::Loaded,
+) -> Result<CachedBody, u64> {
+    let key = loaded.fingerprint;
+    let cell = shared.cache.lock().unwrap().entry(key);
+
+    // Fast path: a finished identical run replays instantly.
+    if let Some(bytes) = cell.get() {
+        shared.stats.lock().unwrap().cache_hits += 1;
+        return Ok(Arc::clone(bytes));
+    }
+
+    // Cold (or follow an in-flight identical run) under a timeout. The
+    // runner thread is abandoned on timeout — it still fills the cache.
+    // The guard keeps the `background` count honest even if the engine
+    // panics mid-run (otherwise `Server::wait` would spin forever).
+    struct BackgroundGuard(Arc<Shared>);
+    impl Drop for BackgroundGuard {
+        fn drop(&mut self) {
+            self.0.background.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+    let (tx, rx) = mpsc::channel::<(CachedBody, bool)>();
+    let runner_shared = Arc::clone(shared);
+    shared.background.fetch_add(1, Ordering::SeqCst);
+    let guard = BackgroundGuard(Arc::clone(shared));
+    let spawned = std::thread::Builder::new()
+        .name("dds-serve-verify".to_owned())
+        .spawn(move || {
+            let _guard = guard;
+            let mut ran = false;
+            let bytes = cell.get_or_init(|| {
+                ran = true;
+                let verified = request.run_loaded(&loaded);
+                let mut stats = runner_shared.stats.lock().unwrap();
+                stats.engine_runs += 1;
+                for p in &verified.report.properties {
+                    if let Some(s) = &p.stats {
+                        stats.engine.merge(s);
+                    }
+                }
+                Arc::new(render::json(&[verified.report]))
+            });
+            let bytes = Arc::clone(bytes);
+            let _ = tx.send((bytes, ran));
+        });
+    if spawned.is_err() {
+        return Err(0);
+    }
+
+    match rx.recv_timeout(Duration::from_millis(shared.opts.timeout_ms)) {
+        Ok((bytes, ran)) => {
+            if !ran {
+                shared.stats.lock().unwrap().cache_hits += 1;
+            }
+            Ok(bytes)
+        }
+        Err(RecvTimeoutError::Timeout) => Err(shared.opts.timeout_ms),
+        Err(RecvTimeoutError::Disconnected) => Err(shared.opts.timeout_ms),
+    }
+}
+
+fn stats_json(shared: &Arc<Shared>) -> String {
+    let s = *shared.stats.lock().unwrap();
+    let cache_entries = shared.cache.lock().unwrap().map.len();
+    let e = s.engine;
+    format!(
+        "{{\n\
+         \"schema_version\": {},\n\
+         \"kind\": \"stats\",\n\
+         \"requests\": {},\n\
+         \"verifications\": {},\n\
+         \"engine_runs\": {},\n\
+         \"cache_hits\": {},\n\
+         \"cache_hit_rate\": {:.4},\n\
+         \"cache_entries\": {cache_entries},\n\
+         \"spec_errors\": {},\n\
+         \"timeouts\": {},\n\
+         \"rejected\": {},\n\
+         \"in_flight\": {},\n\
+         \"peak_in_flight\": {},\n\
+         \"engine\": {{\"configs_explored\": {}, \"unique_configs\": {}, \"transitions_computed\": {}, \"transition_cache_hits\": {}, \"dedup_hits\": {}, \"dedup_probes\": {}, \"search_ns\": {}, \"certify_ns\": {}}}\n\
+         }}\n",
+        render::SCHEMA_VERSION,
+        s.requests,
+        s.verifications,
+        s.engine_runs,
+        s.cache_hits,
+        s.cache_hit_rate(),
+        s.spec_errors,
+        s.timeouts,
+        s.rejected,
+        shared.in_flight.load(Ordering::SeqCst),
+        shared.peak_in_flight.load(Ordering::SeqCst),
+        e.configs_explored,
+        e.unique_configs,
+        e.transitions_computed,
+        e.transition_cache_hits,
+        e.dedup_hits,
+        e.dedup_probes,
+        e.search_ns,
+        e.certify_ns,
+    )
+}
+
+/// A minimal blocking HTTP client for the daemon — shared by the load
+/// harness, the serve tests and the CI smoke job so nobody re-implements
+/// the wire format.
+pub mod client {
+    use super::*;
+
+    /// One HTTP response: status code and body.
+    #[derive(Clone, Debug)]
+    pub struct Response {
+        /// HTTP status code.
+        pub status: u16,
+        /// Response body (always a JSON document from this daemon).
+        pub body: String,
+    }
+
+    fn request(addr: &SocketAddr, method: &str, path: &str, body: &str) -> io::Result<Response> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: dds\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            body.len()
+        );
+        stream.write_all(head.as_bytes())?;
+        // The server may answer (413, 400) and close before consuming the
+        // whole body; a write error here still has a response to read.
+        if stream.write_all(body.as_bytes()).is_ok() {
+            let _ = stream.flush();
+        }
+        let mut raw = Vec::new();
+        if let Err(e) = stream.read_to_end(&mut raw) {
+            if raw.is_empty() {
+                return Err(e);
+            }
+        }
+        let raw = String::from_utf8(raw)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 response"))?;
+        let (head, response_body) = raw
+            .split_once("\r\n\r\n")
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed response"))?;
+        let status: u16 = head
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "missing status"))?;
+        Ok(Response {
+            status,
+            body: response_body.to_owned(),
+        })
+    }
+
+    /// `POST /verify` with a spec text and optional options JSON object
+    /// (e.g. `Some("{\"threads\":4}")`).
+    pub fn verify(
+        addr: &SocketAddr,
+        spec: &str,
+        label: Option<&str>,
+        options: Option<&str>,
+    ) -> io::Result<Response> {
+        let mut body = format!("{{\"spec\":\"{}\"", json::escape(spec));
+        if let Some(l) = label {
+            body.push_str(&format!(",\"label\":\"{}\"", json::escape(l)));
+        }
+        if let Some(o) = options {
+            body.push_str(&format!(",\"options\":{o}"));
+        }
+        body.push('}');
+        request(addr, "POST", "/verify", &body)
+    }
+
+    /// `GET /health`.
+    pub fn health(addr: &SocketAddr) -> io::Result<Response> {
+        request(addr, "GET", "/health", "")
+    }
+
+    /// `GET /stats`.
+    pub fn stats(addr: &SocketAddr) -> io::Result<Response> {
+        request(addr, "GET", "/stats", "")
+    }
+
+    /// `POST /shutdown`.
+    pub fn shutdown(addr: &SocketAddr) -> io::Result<Response> {
+        request(addr, "POST", "/shutdown", "")
+    }
+
+    /// Raw request escape hatch (malformed-input tests).
+    pub fn raw(addr: &SocketAddr, method: &str, path: &str, body: &str) -> io::Result<Response> {
+        request(addr, method, path, body)
+    }
+}

@@ -1,0 +1,247 @@
+//! Integration tests for `dds serve`: the single-flight cache, structured
+//! failure responses, graceful drain, and byte-identity with the CLI's
+//! `--json` output for the whole `specs/` corpus.
+
+use std::sync::{Arc, Barrier};
+
+use dds_cli::render;
+use dds_cli::serve::{client, ServeOptions, Server};
+use dds_cli::VerifyRequest;
+
+/// A cheap, always-valid spec.
+const QUICK_SPEC: &str = "system quick\n\
+    schema {\n  relation E/2\n}\n\
+    class free\n\
+    registers x\n\
+    states {\n  start init\n  acc\n}\n\
+    rule start -> acc: E(x_old, x_new)\n\
+    property reach {\n  accept acc\n  expect nonempty\n}\n";
+
+/// A heavy spec (~tens of ms release, more under debug): two registers
+/// over the free class with an unreachable accept state, so the engine
+/// exhausts the whole amalgamation space.
+const HEAVY_SPEC: &str = "system heavy\n\
+    schema {\n  relation E/2\n  relation red/1\n}\n\
+    class free\n\
+    registers x y\n\
+    states {\n  s0 init\n  s1\n  s2\n  acc\n}\n\
+    rule s0 -> s1: E(x_old, x_new) & E(y_old, y_new)\n\
+    rule s1 -> s2: E(x_new, x_old) & red(y_new)\n\
+    rule s2 -> s1: E(x_old, x_new) & E(y_new, y_old)\n\
+    rule s1 -> s0: E(y_new, y_old) & red(x_new)\n\
+    property reach {\n  accept acc\n}\n";
+
+fn start(opts: ServeOptions) -> Server {
+    Server::start(ServeOptions {
+        addr: "127.0.0.1:0".to_owned(),
+        ..opts
+    })
+    .expect("server starts")
+}
+
+#[test]
+fn concurrent_identical_requests_run_the_engine_exactly_once() {
+    let server = start(ServeOptions {
+        workers: 8,
+        ..ServeOptions::default()
+    });
+    let addr = server.addr();
+
+    let n = 8;
+    let barrier = Arc::new(Barrier::new(n));
+    let handles: Vec<_> = (0..n)
+        .map(|_| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                client::verify(&addr, HEAVY_SPEC, None, None).expect("request")
+            })
+        })
+        .collect();
+    let bodies: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    for resp in &bodies {
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        // Bit-identical, *including* wall_ns: everyone replays the one
+        // elected run's rendered bytes.
+        assert_eq!(resp.body, bodies[0].body);
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.engine_runs, 1, "single-flight elected one run");
+    assert_eq!(stats.cache_hits as usize, n - 1);
+    assert_eq!(stats.verifications as usize, n);
+}
+
+#[test]
+fn timeout_is_a_structured_error_and_the_server_survives() {
+    let server = start(ServeOptions {
+        workers: 2,
+        timeout_ms: 1,
+        ..ServeOptions::default()
+    });
+    let addr = server.addr();
+
+    let resp = client::verify(&addr, HEAVY_SPEC, None, None).expect("request");
+    assert_eq!(resp.status, 504, "{}", resp.body);
+    assert!(resp.body.contains("\"kind\": \"error\""), "{}", resp.body);
+    assert!(resp.body.contains("\"code\":\"timeout\""), "{}", resp.body);
+
+    // The worker that served the timeout is still alive; the abandoned
+    // run keeps filling the cache in the background.
+    let resp = client::health(&addr).expect("health after timeout");
+    assert_eq!(resp.status, 200);
+    assert!(resp.body.contains("\"status\": \"ok\""), "{}", resp.body);
+
+    let stats = server.shutdown();
+    assert_eq!(stats.timeouts, 1);
+}
+
+#[test]
+fn oversize_bad_json_and_spec_errors_are_structured() {
+    let server = start(ServeOptions {
+        max_request_bytes: 256,
+        ..ServeOptions::default()
+    });
+    let addr = server.addr();
+
+    // 413: Content-Length over the limit, rejected before reading.
+    let resp = client::verify(&addr, &"x".repeat(512), None, None).expect("oversize");
+    assert_eq!(resp.status, 413, "{}", resp.body);
+    assert!(resp.body.contains("\"code\":\"oversize\""), "{}", resp.body);
+
+    // 400: not JSON at all.
+    let resp = client::raw(&addr, "POST", "/verify", "not json").expect("bad json");
+    assert_eq!(resp.status, 400, "{}", resp.body);
+    assert!(
+        resp.body.contains("\"code\":\"bad-request\""),
+        "{}",
+        resp.body
+    );
+
+    // 400: JSON but no `spec` field.
+    let resp = client::raw(&addr, "POST", "/verify", "{\"label\":\"x\"}").expect("no spec");
+    assert_eq!(resp.status, 400, "{}", resp.body);
+
+    // 422: a spec diagnostic, with its 1-based line number.
+    let resp = client::verify(&addr, "system broken\nclass nope\n", None, None).expect("spec err");
+    assert_eq!(resp.status, 422, "{}", resp.body);
+    assert!(
+        resp.body.contains("\"code\":\"spec-error\""),
+        "{}",
+        resp.body
+    );
+    assert!(resp.body.contains("\"line\":2"), "{}", resp.body);
+
+    // 404: unknown endpoint.
+    let resp = client::raw(&addr, "GET", "/nope", "").expect("404");
+    assert_eq!(resp.status, 404, "{}", resp.body);
+
+    let stats = server.shutdown();
+    assert_eq!(stats.spec_errors, 1);
+    assert_eq!(stats.rejected, 4, "413 + two 400s + 404");
+}
+
+#[test]
+fn health_and_stats_report_the_service_counters() {
+    let server = start(ServeOptions::default());
+    let addr = server.addr();
+
+    let resp = client::health(&addr).expect("health");
+    assert_eq!(resp.status, 200);
+    assert!(resp.body.contains("\"kind\": \"health\""), "{}", resp.body);
+    assert!(resp.body.contains("\"status\": \"ok\""), "{}", resp.body);
+
+    // One cold run, one hit.
+    assert_eq!(
+        client::verify(&addr, QUICK_SPEC, None, None)
+            .unwrap()
+            .status,
+        200
+    );
+    assert_eq!(
+        client::verify(&addr, QUICK_SPEC, None, None)
+            .unwrap()
+            .status,
+        200
+    );
+
+    let resp = client::stats(&addr).expect("stats");
+    assert_eq!(resp.status, 200);
+    assert!(resp.body.contains("\"kind\": \"stats\""), "{}", resp.body);
+    assert!(resp.body.contains("\"engine_runs\": 1"), "{}", resp.body);
+    assert!(resp.body.contains("\"cache_hits\": 1"), "{}", resp.body);
+    assert!(resp.body.contains("\"cache_hit_rate\""), "{}", resp.body);
+
+    let stats = server.shutdown();
+    assert_eq!(stats.engine_runs, 1);
+    assert_eq!(stats.cache_hits, 1);
+    assert!((stats.cache_hit_rate() - 0.5).abs() < 1e-9);
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_work() {
+    let server = start(ServeOptions {
+        workers: 2,
+        ..ServeOptions::default()
+    });
+    let addr = server.addr();
+
+    let in_flight = std::thread::spawn(move || {
+        client::verify(&addr, HEAVY_SPEC, None, None).expect("in-flight request")
+    });
+    // Give the request time to reach a worker, then start draining.
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    let resp = client::shutdown(&addr).expect("shutdown");
+    assert_eq!(resp.status, 200);
+    assert!(
+        resp.body.contains("\"status\": \"draining\""),
+        "{}",
+        resp.body
+    );
+
+    // The in-flight verification still completes with a real answer.
+    let resp = in_flight.join().unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert!(resp.body.contains("\"outcome\":\"empty\""), "{}", resp.body);
+
+    let stats = server.wait();
+    assert_eq!(stats.verifications, 1);
+}
+
+#[test]
+fn serve_and_cli_json_are_byte_identical_for_the_spec_corpus() {
+    let specs_dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .unwrap()
+        .parent()
+        .unwrap()
+        .join("specs");
+    let mut paths: Vec<_> = std::fs::read_dir(&specs_dir)
+        .expect("specs dir")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "dds") && p.is_file())
+        .collect();
+    paths.sort();
+    assert!(!paths.is_empty(), "empty corpus at {}", specs_dir.display());
+
+    let server = start(ServeOptions::default());
+    let addr = server.addr();
+
+    for path in paths {
+        let spec = std::fs::read_to_string(&path).unwrap();
+        let local = VerifyRequest::new(spec.clone())
+            .verify()
+            .expect("local run");
+        let local_json = render::normalize_wall_ns(&render::json(&[local.report]));
+
+        let resp = client::verify(&addr, &spec, None, None).expect("serve run");
+        assert_eq!(resp.status, 200, "{}: {}", path.display(), resp.body);
+        assert_eq!(
+            render::normalize_wall_ns(&resp.body),
+            local_json,
+            "{}: serve and CLI JSON must be byte-identical (up to wall_ns)",
+            path.display()
+        );
+    }
+    server.shutdown();
+}

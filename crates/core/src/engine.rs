@@ -56,6 +56,14 @@ use std::sync::mpsc;
 use std::time::Instant;
 
 /// Tunables for the search.
+///
+/// Construct with the builder API —
+/// `EngineOptions::default().threads(4).max_configs(50_000)` — which is
+/// the one path both the `dds` CLI flags and the `dds serve` daemon
+/// configuration lower through. Struct-literal construction
+/// (`EngineOptions { threads: 4, ..Default::default() }`) is deprecated:
+/// the fields stay public for reading, but new fields will be added
+/// without notice and literals will stop compiling.
 #[derive(Clone, Copy, Debug)]
 pub struct EngineOptions {
     /// Hard cap on explored configurations; hitting it yields
@@ -88,6 +96,43 @@ impl Default for EngineOptions {
             chunk_size: 0,
             transition_cache: true,
         }
+    }
+}
+
+/// Builder-style setters (each consumes and returns `self`). Rust keeps
+/// field and method namespaces separate, so `opts.threads` reads the field
+/// while `opts.threads(4)` sets it.
+impl EngineOptions {
+    /// Sets the exploration budget ([`EngineOptions::max_configs`]).
+    pub fn max_configs(mut self, n: usize) -> Self {
+        self.max_configs = n;
+        self
+    }
+
+    /// Enables or disables witness concretization/certification
+    /// ([`EngineOptions::concretize`]).
+    pub fn concretize(mut self, yes: bool) -> Self {
+        self.concretize = yes;
+        self
+    }
+
+    /// Sets the worker-thread count ([`EngineOptions::threads`]).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self
+    }
+
+    /// Sets the parallel frontier chunk size ([`EngineOptions::chunk_size`]).
+    pub fn chunk_size(mut self, n: usize) -> Self {
+        self.chunk_size = n;
+        self
+    }
+
+    /// Enables or disables the transition memo
+    /// ([`EngineOptions::transition_cache`]).
+    pub fn transition_cache(mut self, yes: bool) -> Self {
+        self.transition_cache = yes;
+        self
     }
 }
 
@@ -135,6 +180,24 @@ impl EngineStats {
         } else {
             self.dedup_hits as f64 / self.dedup_probes as f64
         }
+    }
+
+    /// Accumulates another run's statistics into `self` — counters and
+    /// timings sum, `levels` takes the maximum (a service aggregating many
+    /// runs wants totals, not a meaningless layer sum). Used by the
+    /// `dds serve` `/stats` endpoint.
+    pub fn merge(&mut self, other: &EngineStats) {
+        self.initial_configs += other.initial_configs;
+        self.configs_explored += other.configs_explored;
+        self.transitions_computed += other.transitions_computed;
+        self.transition_cache_hits += other.transition_cache_hits;
+        self.unique_configs += other.unique_configs;
+        self.dedup_hits += other.dedup_hits;
+        self.dedup_probes += other.dedup_probes;
+        self.levels = self.levels.max(other.levels);
+        self.expand_ns += other.expand_ns;
+        self.search_ns += other.search_ns;
+        self.certify_ns += other.certify_ns;
     }
 }
 
@@ -856,10 +919,7 @@ mod tests {
         let seq = Engine::new(&class, &system).run();
         for threads in [2usize, 4] {
             let par = Engine::new(&class, &system)
-                .with_options(EngineOptions {
-                    threads,
-                    ..EngineOptions::default()
-                })
+                .with_options(EngineOptions::default().threads(threads))
                 .run();
             assert_eq!(seq, par, "threads = {threads}");
         }
@@ -872,10 +932,7 @@ mod tests {
         let class = FreeRelationalClass::new(schema);
         let cached = Engine::new(&class, &system).run();
         let uncached = Engine::new(&class, &system)
-            .with_options(EngineOptions {
-                transition_cache: false,
-                ..EngineOptions::default()
-            })
+            .with_options(EngineOptions::default().transition_cache(false))
             .run();
         // Cache hits legitimately differ; everything else must match.
         assert_eq!(
@@ -901,11 +958,7 @@ mod tests {
         let schema = graph_schema();
         let system = example1(schema.clone());
         let class = FreeRelationalClass::new(schema);
-        let opts = |threads| EngineOptions {
-            max_configs: 40,
-            threads,
-            ..EngineOptions::default()
-        };
+        let opts = |threads| EngineOptions::default().max_configs(40).threads(threads);
         let seq = Engine::new(&class, &system).with_options(opts(1)).run();
         let par = Engine::new(&class, &system).with_options(opts(3)).run();
         assert!(matches!(seq, Outcome::ResourceLimit { .. }) || seq.is_nonempty());

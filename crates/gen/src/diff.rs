@@ -163,12 +163,12 @@ fn four_way<C: SymbolicClass>(
 ) -> Result<FourWay, String> {
     let run = |threads: usize, concretize: bool| {
         Engine::new(class, system)
-            .with_options(EngineOptions {
-                threads,
-                max_configs: opts.max_configs,
-                concretize,
-                ..EngineOptions::default()
-            })
+            .with_options(
+                EngineOptions::default()
+                    .threads(threads)
+                    .max_configs(opts.max_configs)
+                    .concretize(concretize),
+            )
             .run()
     };
     let certified_seq = run(1, true);

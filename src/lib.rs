@@ -68,6 +68,11 @@ pub use dds_trees as trees;
 pub use dds_words as words;
 
 /// Convenient glob-import of the most common types.
+///
+/// Construct [`EngineOptions`](dds_core::EngineOptions) through its
+/// builder — `EngineOptions::default().threads(4).max_configs(100_000)` —
+/// rather than as a field-struct literal; literal construction is
+/// deprecated and will stop compiling when a private field is added.
 pub mod prelude {
     pub use dds_core::{
         DataClass, DataSpec, Engine, EngineOptions, EngineStats, EquivalenceClass,

@@ -21,20 +21,13 @@ where
     assert_eq!(sequential.is_nonempty(), expect_nonempty);
     for threads in [2usize, 4, 8] {
         let parallel = Engine::new(class, system)
-            .with_options(EngineOptions {
-                threads,
-                ..EngineOptions::default()
-            })
+            .with_options(EngineOptions::default().threads(threads))
             .run();
         assert_eq!(sequential, parallel, "threads = {threads}");
     }
     // Tiny chunks maximize scheduling interleavings; the merge must not care.
     let chunky = Engine::new(class, system)
-        .with_options(EngineOptions {
-            threads: 3,
-            chunk_size: 1,
-            ..EngineOptions::default()
-        })
+        .with_options(EngineOptions::default().threads(3).chunk_size(1))
         .run();
     assert_eq!(sequential, chunky, "chunk_size = 1");
 }
@@ -235,10 +228,7 @@ fn auto_threads_agrees() {
     let class = FreeRelationalClass::new(schema);
     let sequential = Engine::new(&class, &system).run();
     let auto = Engine::new(&class, &system)
-        .with_options(EngineOptions {
-            threads: 0,
-            ..EngineOptions::default()
-        })
+        .with_options(EngineOptions::default().threads(0))
         .run();
     assert_eq!(sequential, auto);
 }

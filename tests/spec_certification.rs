@@ -47,10 +47,7 @@ fn run_one<C: SymbolicClass>(
     member: impl Fn(&dds::structure::Structure) -> Option<bool>,
 ) -> RunResult {
     let outcome = Engine::new(class, system)
-        .with_options(EngineOptions {
-            concretize,
-            ..EngineOptions::default()
-        })
+        .with_options(EngineOptions::default().concretize(concretize))
         .run();
     let stats = *outcome.stats();
     let kind = outcome.keyword();
