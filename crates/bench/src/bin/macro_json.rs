@@ -1,0 +1,368 @@
+//! The `bench/macro/` suite runner, minter and perf-regression gate.
+//!
+//! The macro suite is the large-scale counterpart to `experiments_json`:
+//! 20+ generated `.dds` scenarios (see `dds_gen::macro_gen`) big enough —
+//! tens of milliseconds to seconds each — to steer engine optimization,
+//! where E1–E10 are all sub-3ms. Modes, combinable except `--mint`:
+//!
+//! * **Record** (default): runs every `<dir>/*.dds` spec through the
+//!   library pipeline at `--threads N` *and* at 1 thread, fails hard when
+//!   the two disagree on outcome, configuration count or any deterministic
+//!   engine statistic (the bit-identity contract `tests/determinism.rs`
+//!   pins), checks the stamped `expect` lines, and writes one record per
+//!   scenario — `{"id", "wall_ns", "configs_explored", "outcome",
+//!   "seq_wall_ns"[, "scoped_wall_ns"]}` — as a versioned JSON document to
+//!   `--out PATH` (default `MACRO_BENCH.json`).
+//! * **Gate** (`--gate BASELINE.json`): compares each scenario's `wall_ns`
+//!   against the committed baseline and exits non-zero when any scenario
+//!   regressed by more than `DDS_MACRO_MAX_RATIO` (default 3.0) *and* more
+//!   than `DDS_MACRO_FLOOR_MS` (default 250 ms) absolute — macro runs are
+//!   long, so the generous floor keeps shared-runner noise from flapping.
+//! * **Mint** (`--mint`): regenerates the pinned suite from
+//!   `dds_gen::macro_suite()`, stamps each scenario's verified outcome as
+//!   an `expect` line, and (re)writes `<dir>/<id>.dds`. The suite is
+//!   seed-pinned, so minting is reproducible byte-for-byte.
+//! * **`--scoped-ref OLD.json`**: copies `wall_ns` values recorded by an
+//!   older engine build into each record as `scoped_wall_ns` — how the
+//!   committed baseline carries the pre-work-stealing reference timings.
+//!
+//! Refreshing the committed baseline after an intentional perf change:
+//!
+//! ```text
+//! cargo run --release -p dds_bench --bin macro_json -- --out bench/macro_baseline.json
+//! ```
+
+use dds_cli::api::VerifyRequest;
+use dds_cli::render;
+use dds_cli::runner::RunOptions;
+use std::time::Instant;
+
+/// One scenario's recorded result.
+struct Record {
+    id: String,
+    /// Minimum wall time at `--threads N`.
+    wall_ns: u128,
+    configs_explored: u64,
+    outcome: String,
+    /// Single-thread wall time from the determinism cross-run.
+    seq_wall_ns: u128,
+    /// Reference wall time from `--scoped-ref`, if present.
+    scoped_wall_ns: Option<u128>,
+}
+
+fn env_or<T: std::str::FromStr>(name: &str, default: T) -> T {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("macro_json: {msg}");
+    std::process::exit(1);
+}
+
+/// The sorted `.dds` files under `dir`.
+fn spec_paths(dir: &str) -> Vec<std::path::PathBuf> {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) => fail(&format!("{dir}: {e} (run --mint first?)")),
+    };
+    let mut paths: Vec<_> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "dds"))
+        .collect();
+    paths.sort();
+    paths
+}
+
+/// Regenerates the pinned suite into `dir`, stamping verified outcomes.
+fn mint(dir: &str) {
+    std::fs::create_dir_all(dir).unwrap_or_else(|e| fail(&format!("mkdir {dir}: {e}")));
+    let opts = RunOptions {
+        threads: 1,
+        ..RunOptions::default()
+    };
+    for m in dds_gen::macro_suite() {
+        let t0 = Instant::now();
+        let report = VerifyRequest::new(m.scenario.render())
+            .label(format!("{}.dds", m.id))
+            .options(opts)
+            .verify()
+            .unwrap_or_else(|e| fail(&format!("{}: {e}", m.id)));
+        let prop = &report.report.properties[0];
+        let text = format!(
+            "# dds macro benchmark scenario: {} (pinned; regenerate with `macro_json --mint`)\n{}",
+            m.id,
+            m.scenario.render_with_expect(Some(&prop.outcome))
+        );
+        let path = format!("{dir}/{}.dds", m.id);
+        std::fs::write(&path, text).unwrap_or_else(|e| fail(&format!("{path}: {e}")));
+        eprintln!(
+            "minted {path}: {} configs={} in {:.1} ms",
+            prop.outcome,
+            prop.configs_explored,
+            t0.elapsed().as_nanos() as f64 / 1e6
+        );
+    }
+}
+
+/// Runs `work` `reps` times; returns the minimum wall time and the (stable)
+/// result of the last run.
+fn measure<R>(reps: u32, mut work: impl FnMut() -> R) -> (u128, R) {
+    let mut best = u128::MAX;
+    let mut result = None;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        let r = work();
+        best = best.min(t0.elapsed().as_nanos());
+        result = Some(r);
+    }
+    (best, result.expect("reps >= 1"))
+}
+
+/// Runs one spec at `threads` and at 1 thread, cross-checking determinism
+/// and the stamped expectation.
+fn run_one(path: &str, threads: usize, reps: u32) -> Record {
+    let req = VerifyRequest::from_file(path).unwrap_or_else(|e| fail(&e.to_string()));
+    let par_opts = RunOptions {
+        threads,
+        ..RunOptions::default()
+    };
+    let seq_opts = RunOptions {
+        threads: 1,
+        ..RunOptions::default()
+    };
+    let (wall_ns, par) = measure(reps, || {
+        req.clone()
+            .options(par_opts)
+            .verify()
+            .unwrap_or_else(|e| fail(&e.to_string()))
+    });
+    let (seq_wall_ns, seq) = measure(1, || {
+        req.clone()
+            .options(seq_opts)
+            .verify()
+            .unwrap_or_else(|e| fail(&e.to_string()))
+    });
+    let (p, s) = (&par.report.properties[0], &seq.report.properties[0]);
+    if p.outcome != s.outcome || p.configs_explored != s.configs_explored || p.stats != s.stats {
+        fail(&format!(
+            "{path}: threads={threads} diverges from threads=1\n  \
+             {} configs={} stats={:?}\n  vs\n  {} configs={} stats={:?}",
+            p.outcome, p.configs_explored, p.stats, s.outcome, s.configs_explored, s.stats
+        ));
+    }
+    if !par.report.ok() {
+        fail(&format!(
+            "{path}: outcome `{}` violates the stamped expectation `{}` — \
+             re-mint the corpus if the change is intentional",
+            p.outcome,
+            p.expect.as_deref().unwrap_or("<none>")
+        ));
+    }
+    let id = std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or(path)
+        .to_owned();
+    eprintln!(
+        "{id}: {:.1} ms ({threads} threads) / {:.1} ms (1 thread)  configs={}  {}",
+        wall_ns as f64 / 1e6,
+        seq_wall_ns as f64 / 1e6,
+        p.configs_explored,
+        p.outcome
+    );
+    Record {
+        id,
+        wall_ns,
+        configs_explored: p.configs_explored,
+        outcome: p.outcome.clone(),
+        seq_wall_ns,
+        scoped_wall_ns: None,
+    }
+}
+
+fn write_json(path: &str, records: &[Record]) -> std::io::Result<()> {
+    let rendered: Vec<String> = records
+        .iter()
+        .map(|r| {
+            let base = render::record(&r.id, r.wall_ns, r.configs_explored, &r.outcome);
+            // Splice the macro-only fields into the shared record shape.
+            let mut obj = base[..base.len() - 1].to_owned();
+            obj.push_str(&format!(",\"seq_wall_ns\":{}", r.seq_wall_ns));
+            if let Some(scoped) = r.scoped_wall_ns {
+                obj.push_str(&format!(",\"scoped_wall_ns\":{scoped}"));
+            }
+            obj.push('}');
+            obj
+        })
+        .collect();
+    std::fs::write(path, render::document("macro-bench", &rendered))
+}
+
+/// Extracts `"key":<value>` from one serialized object, where the value is
+/// a quoted string or a bare integer (the only shapes this tool writes).
+fn extract_field(obj: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":");
+    let start = obj.find(&pat)? + pat.len();
+    let rest = &obj[start..];
+    if let Some(stripped) = rest.strip_prefix('"') {
+        Some(stripped[..stripped.find('"')?].to_owned())
+    } else {
+        let end = rest
+            .find(|c: char| !c.is_ascii_digit())
+            .unwrap_or(rest.len());
+        (end > 0).then(|| rest[..end].to_owned())
+    }
+}
+
+/// Parses a document produced by [`write_json`] into `(id, wall_ns)` pairs.
+fn read_baseline(path: &str) -> Result<Vec<(String, u128)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut out = Vec::new();
+    for obj in text.split('{').skip(1) {
+        let obj = obj.split('}').next().unwrap_or("");
+        let Some(id) = extract_field(obj, "id") else {
+            continue;
+        };
+        let wall: u128 = extract_field(obj, "wall_ns")
+            .and_then(|w| w.parse().ok())
+            .ok_or_else(|| format!("{path}: bad wall_ns for {id}"))?;
+        out.push((id, wall));
+    }
+    Ok(out)
+}
+
+fn gate(records: &[Record], baseline_path: &str) -> Result<(), String> {
+    let max_ratio: f64 = env_or("DDS_MACRO_MAX_RATIO", 3.0);
+    let floor_ns: u128 = env_or::<u128>("DDS_MACRO_FLOOR_MS", 250) * 1_000_000;
+    let baseline = read_baseline(baseline_path)?;
+    // Id-set drift silently disables regression protection, so it fails the
+    // gate in both directions (see experiments_json).
+    let mut mismatches: Vec<String> = baseline
+        .iter()
+        .filter(|(id, _)| !records.iter().any(|r| r.id == *id))
+        .map(|(id, _)| format!("baseline entry `{id}` matches no scenario"))
+        .collect();
+    let mut failures = Vec::new();
+    for r in records {
+        let Some((_, base)) = baseline.iter().find(|(id, _)| *id == r.id) else {
+            mismatches.push(format!("scenario `{}` has no baseline entry", r.id));
+            continue;
+        };
+        let ratio = r.wall_ns as f64 / (*base).max(1) as f64;
+        let over_floor = r.wall_ns > base + floor_ns;
+        let verdict = if ratio > max_ratio && over_floor {
+            failures.push(r.id.clone());
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        eprintln!(
+            "gate: {:28} {:>12} ns vs baseline {:>12} ns  ({ratio:.2}x) {verdict}",
+            r.id, r.wall_ns, base
+        );
+    }
+    if failures.is_empty() && mismatches.is_empty() {
+        Ok(())
+    } else {
+        let mut msg = String::new();
+        if !failures.is_empty() {
+            msg.push_str(&format!(
+                "macro perf gate failed (> {max_ratio}x and > {floor_ns} ns absolute): {failures:?}\n"
+            ));
+        }
+        if !mismatches.is_empty() {
+            msg.push_str(&format!("scenario/baseline id mismatch: {mismatches:?}\n"));
+        }
+        msg.push_str(
+            "If intentional, refresh the baseline:\n\
+             cargo run --release -p dds_bench --bin macro_json -- --out bench/macro_baseline.json",
+        );
+        Err(msg)
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut dir = "bench/macro".to_owned();
+    let mut out_path = "MACRO_BENCH.json".to_owned();
+    let mut gate_path = None;
+    let mut scoped_ref = None;
+    let mut do_mint = false;
+    let mut threads: usize = env_or("DDS_MACRO_THREADS", 4);
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: usize, what: &str| -> String {
+            args.get(i + 1)
+                .unwrap_or_else(|| fail(&format!("{what} needs a value")))
+                .clone()
+        };
+        match args[i].as_str() {
+            "--dir" => {
+                dir = take(i, "--dir");
+                i += 2;
+            }
+            "--out" => {
+                out_path = take(i, "--out");
+                i += 2;
+            }
+            "--gate" => {
+                gate_path = Some(take(i, "--gate"));
+                i += 2;
+            }
+            "--scoped-ref" => {
+                scoped_ref = Some(take(i, "--scoped-ref"));
+                i += 2;
+            }
+            "--threads" => {
+                threads = take(i, "--threads")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--threads expects a number"));
+                i += 2;
+            }
+            "--mint" => {
+                do_mint = true;
+                i += 1;
+            }
+            other => {
+                eprintln!(
+                    "usage: macro_json [--dir DIR] [--out PATH] [--gate BASELINE.json] \
+                     [--mint] [--threads N] [--scoped-ref OLD.json]"
+                );
+                fail(&format!("unknown argument: {other}"));
+            }
+        }
+    }
+    if do_mint {
+        mint(&dir);
+        return;
+    }
+    let reps: u32 = env_or("DDS_BENCH_REPS", 2);
+    let paths = spec_paths(&dir);
+    if paths.is_empty() {
+        fail(&format!("{dir}: no .dds scenarios (run --mint first?)"));
+    }
+    let mut records: Vec<Record> = paths
+        .iter()
+        .map(|p| run_one(p.to_str().expect("utf-8 path"), threads, reps))
+        .collect();
+    if let Some(ref_path) = scoped_ref {
+        let reference = read_baseline(&ref_path).unwrap_or_else(|e| fail(&e));
+        for r in &mut records {
+            r.scoped_wall_ns = reference
+                .iter()
+                .find(|(id, _)| *id == r.id)
+                .map(|(_, w)| *w);
+        }
+    }
+    write_json(&out_path, &records).expect("write results");
+    eprintln!("wrote {} records to {out_path}", records.len());
+    if let Some(b) = gate_path {
+        if let Err(msg) = gate(&records, &b) {
+            eprintln!("{msg}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -9,8 +9,9 @@
 //! OPTIONS
 //!   --json            emit JSON records (the BENCH_E1_E10.json shape)
 //!   --out PATH        also write the rendered output to PATH
-//!   --threads N       engine worker threads (default 1; 0 = all cores)
-//!   --chunk-size N    parallel frontier chunk size (default auto)
+//!   --threads N       persistent engine workers (default 1; 0 = all cores)
+//!   --chunk-size N    steal granularity: tasks per claim from a worker's
+//!                     frontier queue (default auto: 4 chunks per worker)
 //!   --max-configs N   exploration budget (default 1000000)
 //!   --no-certify      skip witness concretization/certification
 //!   --timings         include wall-clock timings in text output

@@ -24,10 +24,10 @@ impl Default for RunOptions {
     fn default() -> RunOptions {
         let d = EngineOptions::default();
         RunOptions {
-            threads: d.threads,
-            chunk_size: d.chunk_size,
-            max_configs: d.max_configs,
-            concretize: d.concretize,
+            threads: d.get_threads(),
+            chunk_size: d.get_chunk_size(),
+            max_configs: d.get_max_configs(),
+            concretize: d.get_concretize(),
         }
     }
 }

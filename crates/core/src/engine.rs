@@ -30,14 +30,18 @@
 //!   syntactically equal guards share a guard class. Systems that reuse a
 //!   guard across control states (ubiquitous in the E1–E10 experiments) pay
 //!   for each expansion once.
-//! * **Level-synchronous parallel frontier** (`threads >= 2`): each BFS
-//!   layer's uncached successor computations fan out across
-//!   [`std::thread::scope`] workers, then a sequential merge replays the
-//!   layer in exactly the order the `threads = 1` path uses. Outcomes,
-//!   traces, statistics (up to wall-clock timings) and certificates are
-//!   bit-identical to the sequential engine, because the merge performs the
-//!   identical sequence of dedup probes, arena pushes and counter updates —
-//!   workers only *precompute* pure successor sets.
+//! * **Work-stealing parallel frontier** (`threads >= 2`): one set of
+//!   workers persists for the whole search (the crate-internal `pool`
+//!   module); each BFS
+//!   layer's uncached successor computations are published to them as an
+//!   *epoch* whose task list is claimed in chunks through per-worker
+//!   steal-on-empty queues, then a sequential merge replays the layer in
+//!   exactly the order the `threads = 1` path uses. Outcomes, traces,
+//!   statistics (up to wall-clock timings and steal counts) and
+//!   certificates are bit-identical to the sequential engine, because the
+//!   merge performs the identical sequence of dedup probes, arena pushes
+//!   and counter updates — workers only *precompute* pure successor sets
+//!   into per-task slots, and which worker computed a slot never matters.
 //!
 //! On a non-empty answer the engine extracts the trace and asks the class to
 //! *concretize* it into an actual database and run, then re-validates the
@@ -48,43 +52,51 @@
 
 use crate::class::{SymbolicClass, Trace, TraceStep};
 use crate::intern::{ConfigId, Interner};
+use crate::pool::{EpochGate, TaskQueues};
 use dds_structure::Structure;
 use dds_system::{eliminate_existentials, Run, StateId, System};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
+
+/// Default steal granularity: with `chunk_size = 0` each layer is cut into
+/// about this many chunks per worker, so a worker that drew cheap tasks can
+/// steal meaningful slices from one stuck on a hub state's expansions while
+/// claim traffic stays a few atomic ops per layer.
+const CHUNKS_PER_WORKER: usize = 4;
 
 /// Tunables for the search.
 ///
 /// Construct with the builder API —
 /// `EngineOptions::default().threads(4).max_configs(50_000)` — which is
 /// the one path both the `dds` CLI flags and the `dds serve` daemon
-/// configuration lower through. Struct-literal construction
-/// (`EngineOptions { threads: 4, ..Default::default() }`) is deprecated:
-/// the fields stay public for reading, but new fields will be added
-/// without notice and literals will stop compiling.
+/// configuration lower through. The fields are private (struct-literal
+/// construction was removed with the builder migration); read them back
+/// through the `get_*` accessors.
 #[derive(Clone, Copy, Debug)]
 pub struct EngineOptions {
     /// Hard cap on explored configurations; hitting it yields
     /// [`Outcome::ResourceLimit`] instead of an unsound "empty".
-    pub max_configs: usize,
+    max_configs: usize,
     /// Whether to concretize (and certify) witnesses for non-empty answers.
-    pub concretize: bool,
+    concretize: bool,
     /// Worker threads for frontier expansion. `1` (the default) runs the
     /// exact sequential exploration order; `0` asks the OS via
-    /// [`std::thread::available_parallelism`]; `n >= 2` expands each BFS
-    /// layer on `n` scoped workers with a deterministic merge, producing
-    /// bit-identical outcomes to `threads = 1`.
-    pub threads: usize,
-    /// Tasks claimed per worker grab in the parallel path. `0` (the
-    /// default) splits each layer evenly across the workers; small values
-    /// trade scheduling overhead for better load balance on skewed layers.
-    pub chunk_size: usize,
+    /// [`std::thread::available_parallelism`]; `n >= 2` keeps `n - 1`
+    /// persistent workers plus the coordinator on a work-stealing pool with
+    /// a deterministic merge, producing bit-identical outcomes to
+    /// `threads = 1`.
+    threads: usize,
+    /// Steal granularity: tasks claimed per grab from a worker's queue (own
+    /// or a victim's) in the parallel path. `0` (the default) targets a few
+    /// chunks per worker per layer; small values trade claim traffic for
+    /// finer load balance on skewed layers.
+    chunk_size: usize,
     /// Memoize successor sets by `(configuration, guard)`. Disabling trades
     /// time for memory on searches with little guard reuse; outcomes are
     /// unaffected either way.
-    pub transition_cache: bool,
+    transition_cache: bool,
 }
 
 impl Default for EngineOptions {
@@ -99,10 +111,35 @@ impl Default for EngineOptions {
     }
 }
 
-/// Builder-style setters (each consumes and returns `self`). Rust keeps
-/// field and method namespaces separate, so `opts.threads` reads the field
-/// while `opts.threads(4)` sets it.
+/// Builder-style setters (each consumes and returns `self`) and `get_*`
+/// read accessors. The setters own the plain names (`opts.threads(4)`), so
+/// the readers carry the prefix.
 impl EngineOptions {
+    /// Reads the exploration budget.
+    pub fn get_max_configs(&self) -> usize {
+        self.max_configs
+    }
+
+    /// Reads whether witnesses are concretized and certified.
+    pub fn get_concretize(&self) -> bool {
+        self.concretize
+    }
+
+    /// Reads the configured worker-thread count (`0` = ask the OS).
+    pub fn get_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Reads the steal granularity (`0` = automatic).
+    pub fn get_chunk_size(&self) -> usize {
+        self.chunk_size
+    }
+
+    /// Reads whether the transition memo is enabled.
+    pub fn get_transition_cache(&self) -> bool {
+        self.transition_cache
+    }
+
     /// Sets the exploration budget ([`EngineOptions::max_configs`]).
     pub fn max_configs(mut self, n: usize) -> Self {
         self.max_configs = n;
@@ -139,12 +176,14 @@ impl EngineOptions {
 /// Search statistics, reported with every outcome (experiment E4 plots
 /// these against the paper's `log n · poly(blowup(2k))` bound).
 ///
-/// All fields except the `*_ns` wall-clock timings are **deterministic**:
-/// they depend only on the class, the system, `max_configs` and
-/// `transition_cache`, never on `threads` or `chunk_size`
-/// (`transition_cache_hits` is identically zero with the memo disabled).
-/// Equality (`==`) compares exactly the deterministic fields, so outcome
-/// comparisons across worker counts are meaningful.
+/// All fields except the `*_ns` wall-clock timings, the scheduling
+/// counters ([`EngineStats::tasks_stolen`]) and the allocator diagnostics
+/// ([`EngineStats::scratch_allocs`], [`EngineStats::scratch_reuses`]) are
+/// **deterministic**: they depend only on the class, the system,
+/// `max_configs` and `transition_cache`, never on `threads` or
+/// `chunk_size` (`transition_cache_hits` is identically zero with the memo
+/// disabled). Equality (`==`) compares exactly the deterministic fields,
+/// so outcome comparisons across worker counts are meaningful.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct EngineStats {
     /// Distinct initial `(state, config)` pairs.
@@ -163,8 +202,22 @@ pub struct EngineStats {
     pub dedup_probes: usize,
     /// BFS layers whose processing began.
     pub levels: usize,
+    /// Parallel-path tasks claimed from another participant's queue (work
+    /// stealing). Identically zero at `threads = 1`; otherwise a scheduling
+    /// measurement, **not** deterministic.
+    pub tasks_stolen: u64,
+    /// Configuration scratch buffers newly allocated by the amalgamation
+    /// machinery (a diagnostic for the arena-backed hot path, **not**
+    /// deterministic across runs in one process).
+    pub scratch_allocs: u64,
+    /// Configuration scratch buffers served from the reuse pool instead of
+    /// a fresh allocation (same caveats as
+    /// [`EngineStats::scratch_allocs`]).
+    pub scratch_reuses: u64,
     /// Wall time in successor computation, summed across workers.
     pub expand_ns: u64,
+    /// Wall time pool workers spent parked between layer epochs.
+    pub idle_ns: u64,
     /// Wall time of the whole search (excluding certification).
     pub search_ns: u64,
     /// Wall time concretizing and certifying the witness.
@@ -195,15 +248,20 @@ impl EngineStats {
         self.dedup_hits += other.dedup_hits;
         self.dedup_probes += other.dedup_probes;
         self.levels = self.levels.max(other.levels);
+        self.tasks_stolen += other.tasks_stolen;
+        self.scratch_allocs += other.scratch_allocs;
+        self.scratch_reuses += other.scratch_reuses;
         self.expand_ns += other.expand_ns;
+        self.idle_ns += other.idle_ns;
         self.search_ns += other.search_ns;
         self.certify_ns += other.certify_ns;
     }
 }
 
 impl PartialEq for EngineStats {
-    /// Compares the deterministic search counters only — the `*_ns` timings
-    /// are measurements, not search results.
+    /// Compares the deterministic search counters only — the `*_ns`
+    /// timings, steal counts and scratch-pool diagnostics are measurements,
+    /// not search results.
     fn eq(&self, other: &Self) -> bool {
         self.initial_configs == other.initial_configs
             && self.configs_explored == other.configs_explored
@@ -322,6 +380,23 @@ struct Node {
     parent: Option<(usize, usize)>,
 }
 
+/// One BFS layer's speculative workload, published to the worker pool.
+///
+/// The layer's whole [`Interner`] *moves* into the epoch (and back out when
+/// the coordinator recovers sole ownership at the done barrier), so workers
+/// resolve [`ConfigId`]s by plain shared reads — no clone of the arena, no
+/// lock on the hot path. Successor sets land in per-task [`OnceLock`]
+/// slots; every slot is written by exactly one claimant.
+struct Epoch<Cfg> {
+    interner: Interner<Cfg>,
+    /// The layer's distinct uncached `(configuration, rule)` expansions.
+    tasks: Vec<(ConfigId, usize)>,
+    queues: TaskQueues,
+    results: Vec<OnceLock<Vec<Cfg>>>,
+    /// Nanoseconds participants spent draining (summed), for `expand_ns`.
+    busy_ns: AtomicU64,
+}
+
 /// The mutable search state shared by the sequential and parallel paths.
 struct Search<Cfg> {
     interner: Interner<Cfg>,
@@ -427,6 +502,7 @@ impl<'a, C: SymbolicClass> Engine<'a, C> {
     /// Decides emptiness.
     pub fn run(&self) -> Outcome<C::Config> {
         let t0 = Instant::now();
+        let (allocs0, reuses0) = crate::amalgam::scratch_counters();
         let threads = self.effective_threads();
         let mut outcome = if threads <= 1 {
             self.run_sequential()
@@ -434,8 +510,13 @@ impl<'a, C: SymbolicClass> Engine<'a, C> {
             self.run_parallel(threads)
         };
         let total = t0.elapsed().as_nanos() as u64;
+        let (allocs1, reuses1) = crate::amalgam::scratch_counters();
         let stats = outcome.stats_mut();
         stats.search_ns = total.saturating_sub(stats.certify_ns);
+        // Process-wide deltas: exact for a single run, blurred (but still
+        // indicative) when runs overlap in one process.
+        stats.scratch_allocs = allocs1.saturating_sub(allocs0);
+        stats.scratch_reuses = reuses1.saturating_sub(reuses0);
         outcome
     }
 
@@ -560,13 +641,69 @@ impl<'a, C: SymbolicClass> Engine<'a, C> {
         Outcome::Empty { stats: s.stats }
     }
 
-    /// The `threads >= 2` path: level-synchronous frontier expansion. Each
-    /// layer's uncached `(configuration, guard)` expansions are computed
-    /// speculatively by scoped workers; a sequential merge then replays the
-    /// layer in arena order, performing the identical probe/push/count
-    /// sequence as [`Engine::run_sequential`] — so every outcome, trace and
-    /// deterministic statistic is bit-identical.
+    /// The `threads >= 2` path: spawns `threads - 1` persistent pool
+    /// workers around [`Engine::parallel_search`], shutting the pool down
+    /// when the search returns. Workers live for the whole search — layer
+    /// hand-off is a condvar epoch, not a thread spawn.
     fn run_parallel(&self, threads: usize) -> Outcome<C::Config> {
+        let gate: EpochGate<Epoch<C::Config>> = EpochGate::new();
+        let mut outcome = std::thread::scope(|scope| {
+            for worker in 1..threads {
+                let gate = &gate;
+                scope.spawn(move || {
+                    let mut seq = 0;
+                    while let Some((epoch, next)) = gate.next_epoch(seq) {
+                        seq = next;
+                        self.drain_epoch(&epoch, worker);
+                        gate.finish(epoch);
+                    }
+                });
+            }
+            let out = self.parallel_search(&gate, threads);
+            gate.shutdown();
+            out
+        });
+        outcome.stats_mut().idle_ns += gate.idle_ns();
+        outcome
+    }
+
+    /// Drains one epoch as participant `me`: claims chunks from its own
+    /// queue, then steals from the others ([`TaskQueues::claim`]). Pure
+    /// speculation — successor sets land in per-task [`OnceLock`] slots and
+    /// nothing else is touched, so racy claim order cannot leak into the
+    /// deterministic merge.
+    fn drain_epoch(&self, epoch: &Epoch<C::Config>, me: usize) {
+        let t0 = Instant::now();
+        while let Some(range) = epoch.queues.claim(me) {
+            for i in range {
+                let (cfg, rule_idx) = epoch.tasks[i];
+                let succs = self.class.transitions(
+                    epoch.interner.get(cfg),
+                    &self.compiled.rules()[rule_idx].guard,
+                );
+                // Each task index is claimed exactly once, so the slot is
+                // always empty here.
+                let _ = epoch.results[i].set(succs);
+            }
+        }
+        epoch
+            .busy_ns
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// The coordinator's level-synchronous search loop. Each layer's
+    /// uncached `(configuration, guard)` expansions are published to the
+    /// pool as an epoch (the whole interner moves into it and back out — no
+    /// clone, no lock) and drained cooperatively, coordinator included; a
+    /// sequential merge then replays the layer in arena order, performing
+    /// the identical probe/push/count sequence as
+    /// [`Engine::run_sequential`] — so every outcome, trace and
+    /// deterministic statistic is bit-identical.
+    fn parallel_search(
+        &self,
+        gate: &EpochGate<Epoch<C::Config>>,
+        threads: usize,
+    ) -> Outcome<C::Config> {
         let mut s = self.init_search();
         let mut level_start = 0usize;
         loop {
@@ -599,58 +736,37 @@ impl<'a, C: SymbolicClass> Engine<'a, C> {
                 }
             }
 
-            // Fan the tasks out across scoped workers (pure computation:
-            // nothing here touches the search state).
-            let mut results: Vec<Option<Vec<C::Config>>> = (0..tasks.len()).map(|_| None).collect();
-            if !tasks.is_empty() {
+            // Publish the layer to the pool and drain it cooperatively. A
+            // single-task layer skips the epoch entirely — the merge's
+            // fallback computes it inline, cheaper than waking workers that
+            // have nothing to steal.
+            let mut results: Vec<OnceLock<Vec<C::Config>>> = std::iter::repeat_with(OnceLock::new)
+                .take(tasks.len())
+                .collect();
+            if tasks.len() > 1 {
                 let chunk = if self.options.chunk_size > 0 {
                     self.options.chunk_size
                 } else {
-                    tasks.len().div_ceil(threads)
+                    tasks.len().div_ceil(threads * CHUNKS_PER_WORKER)
                 }
                 .max(1);
-                let workers = threads.min(tasks.len().div_ceil(chunk)).max(1);
-                let cursor = AtomicUsize::new(0);
-                let busy_ns = AtomicU64::new(0);
-                let (tx, rx) = mpsc::channel::<(usize, Vec<C::Config>)>();
-                let interner = &s.interner;
-                let tasks_ref = &tasks;
-                std::thread::scope(|scope| {
-                    for _ in 0..workers {
-                        let tx = tx.clone();
-                        let cursor = &cursor;
-                        let busy_ns = &busy_ns;
-                        scope.spawn(move || {
-                            loop {
-                                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                                if start >= tasks_ref.len() {
-                                    break;
-                                }
-                                let end = (start + chunk).min(tasks_ref.len());
-                                let t0 = Instant::now();
-                                for (i, &(cfg, rule_idx)) in
-                                    tasks_ref[start..end].iter().enumerate()
-                                {
-                                    let succs = self.class.transitions(
-                                        interner.get(cfg),
-                                        &self.compiled.rules()[rule_idx].guard,
-                                    );
-                                    // Receiver outlives the scope; send only
-                                    // fails if it was dropped, which cannot
-                                    // happen while we hold `rx` below.
-                                    let _ = tx.send((start + i, succs));
-                                }
-                                busy_ns
-                                    .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                            }
-                        });
-                    }
-                    drop(tx);
+                let epoch = Arc::new(Epoch {
+                    interner: std::mem::take(&mut s.interner),
+                    queues: TaskQueues::split(tasks.len(), threads, chunk),
+                    results: std::mem::take(&mut results),
+                    tasks,
+                    busy_ns: AtomicU64::new(0),
                 });
-                for (i, succs) in rx {
-                    results[i] = Some(succs);
-                }
-                s.stats.expand_ns += busy_ns.load(Ordering::Relaxed);
+                gate.publish(Arc::clone(&epoch), threads - 1);
+                self.drain_epoch(&epoch, 0);
+                gate.wait_done();
+                let Ok(done) = Arc::try_unwrap(epoch) else {
+                    unreachable!("workers returned their epoch references at the done barrier")
+                };
+                s.interner = done.interner;
+                s.stats.expand_ns += done.busy_ns.load(Ordering::Relaxed);
+                s.stats.tasks_stolen += done.queues.stolen();
+                results = done.results;
             }
 
             // Deterministic merge: identical order to the sequential path.
@@ -662,7 +778,7 @@ impl<'a, C: SymbolicClass> Engine<'a, C> {
                     // (later occurrences hit the memo); without it, clone so
                     // repeated occurrences in this layer stay served.
                     Some(&t) if cache_on => results[t].take(),
-                    Some(&t) => results[t].clone(),
+                    Some(&t) => results[t].get().cloned(),
                     None => None,
                 };
                 precomputed.unwrap_or_else(|| {

@@ -6,7 +6,8 @@
 //! implemented here.
 
 use crate::amalgam::{
-    combined_valuation, placement_contexts, point_patterns, AmalgamClass, GuardHints,
+    combined_valuation, placement_contexts, point_patterns, release_structure, AmalgamClass,
+    GuardHints,
 };
 use crate::class::Pointed;
 use dds_structure::{Element, Schema, Structure, SymbolId};
@@ -170,15 +171,15 @@ impl AmalgamClass for EquivalenceClass {
         let mut out = Vec::new();
         for ctx in placement_contexts(&base.structure, k) {
             let combined = combined_valuation(&base.points, &ctx.new_points);
-            if !hints.placement_allows(&combined) {
-                continue;
+            if hints.placement_allows(&combined) {
+                for blocks in block_extensions(&old_blocks, ctx.fresh.len()) {
+                    out.push(Pointed::new(
+                        self.from_blocks(&blocks),
+                        ctx.new_points.clone(),
+                    ));
+                }
             }
-            for blocks in block_extensions(&old_blocks, ctx.fresh.len()) {
-                out.push(Pointed::new(
-                    self.from_blocks(&blocks),
-                    ctx.new_points.clone(),
-                ));
-            }
+            release_structure(ctx.ext);
         }
         out
     }

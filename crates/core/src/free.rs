@@ -16,7 +16,7 @@
 
 use crate::amalgam::{
     combined_valuation, enumerate_fact_subsets, hint_tuples, internal_new_tuples,
-    placement_contexts, AmalgamClass, GuardHints,
+    placement_contexts, release_structure, AmalgamClass, GuardHints,
 };
 use crate::class::Pointed;
 use dds_structure::enumerate::StructureIter;
@@ -69,28 +69,29 @@ impl AmalgamClass for FreeRelationalClass {
         let mut out = Vec::new();
         for ctx in placement_contexts(&base.structure, k) {
             let combined = combined_valuation(&base.points, &ctx.new_points);
-            if !hints.placement_allows(&combined) {
-                continue;
+            if hints.placement_allows(&combined) {
+                // Universe of elements that survive into the next
+                // configuration.
+                let mut np_universe: Vec<Element> = ctx.new_points.clone();
+                np_universe.sort_unstable();
+                np_universe.dedup();
+                let mut optional: BTreeSet<(dds_structure::SymbolId, Vec<Element>)> =
+                    internal_new_tuples(&self.schema, &np_universe, &ctx.fresh)
+                        .into_iter()
+                        .collect();
+                for t in hint_tuples(&hints.atoms, &combined, &ctx.fresh) {
+                    optional.insert(t);
+                }
+                let optional: Vec<_> = optional.into_iter().collect();
+                let mut structs = Vec::new();
+                enumerate_fact_subsets(&ctx.ext, &optional, |_| true, &mut structs);
+                out.extend(
+                    structs
+                        .into_iter()
+                        .map(|s| Pointed::new(s, ctx.new_points.clone())),
+                );
             }
-            // Universe of elements that survive into the next configuration.
-            let mut np_universe: Vec<Element> = ctx.new_points.clone();
-            np_universe.sort_unstable();
-            np_universe.dedup();
-            let mut optional: BTreeSet<(dds_structure::SymbolId, Vec<Element>)> =
-                internal_new_tuples(&self.schema, &np_universe, &ctx.fresh)
-                    .into_iter()
-                    .collect();
-            for t in hint_tuples(&hints.atoms, &combined, &ctx.fresh) {
-                optional.insert(t);
-            }
-            let optional: Vec<_> = optional.into_iter().collect();
-            let mut structs = Vec::new();
-            enumerate_fact_subsets(&ctx.ext, &optional, |_| true, &mut structs);
-            out.extend(
-                structs
-                    .into_iter()
-                    .map(|s| Pointed::new(s, ctx.new_points.clone())),
-            );
+            release_structure(ctx.ext);
         }
         out
     }

@@ -18,7 +18,7 @@
 
 use crate::amalgam::{
     combined_valuation, enumerate_fact_subsets, hint_tuples, internal_new_tuples,
-    placement_contexts, AmalgamClass, GuardHints,
+    placement_contexts, release_structure, scratch_structure, AmalgamClass, GuardHints,
 };
 use crate::class::Pointed;
 use dds_structure::{Element, Schema, Structure, SymbolId};
@@ -225,6 +225,7 @@ impl AmalgamClass for HomClass {
         for ctx in placement_contexts(&base.structure, k) {
             let combined = combined_valuation(&base.points, &ctx.new_points);
             if !hints.placement_allows(&combined) {
+                release_structure(ctx.ext);
                 continue;
             }
             let mut np_universe: Vec<Element> = ctx.new_points.clone();
@@ -233,7 +234,7 @@ impl AmalgamClass for HomClass {
             for fresh_colors in color_vectors(ctx.fresh.len(), nh) {
                 let mut colors = base_colors.clone();
                 colors.extend(fresh_colors.iter().copied());
-                let mut colored = ctx.ext.clone();
+                let mut colored = scratch_structure(&ctx.ext);
                 for (f, &h) in ctx.fresh.iter().zip(&fresh_colors) {
                     colored.add_fact(self.color_syms[h], &[*f]).unwrap();
                 }
@@ -253,12 +254,14 @@ impl AmalgamClass for HomClass {
                 let optional: Vec<_> = optional.into_iter().collect();
                 let mut structs = Vec::new();
                 enumerate_fact_subsets(&colored, &optional, |_| true, &mut structs);
+                release_structure(colored);
                 out.extend(
                     structs
                         .into_iter()
                         .map(|s| Pointed::new(s, ctx.new_points.clone())),
                 );
             }
+            release_structure(ctx.ext);
         }
         out
     }

@@ -10,7 +10,8 @@
 //! polynomial per placement.
 
 use crate::amalgam::{
-    combined_valuation, placement_contexts, surjections, AmalgamClass, GuardHints,
+    combined_valuation, placement_contexts, release_structure, surjections, AmalgamClass,
+    GuardHints,
 };
 use crate::class::Pointed;
 use dds_structure::{Element, Schema, Structure, SymbolId};
@@ -140,14 +141,15 @@ impl AmalgamClass for LinearOrderClass {
         let mut out = Vec::new();
         for ctx in placement_contexts(&base.structure, k) {
             let combined = combined_valuation(&base.points, &ctx.new_points);
-            if !hints.placement_allows(&combined) {
-                continue;
+            if hints.placement_allows(&combined) {
+                // Interleave the fresh elements into the old chain in every
+                // way.
+                for order in interleavings(&old_order, &ctx.fresh) {
+                    let s = self.chain(&order, ctx.ext.size());
+                    out.push(Pointed::new(s, ctx.new_points.clone()));
+                }
             }
-            // Interleave the fresh elements into the old chain in every way.
-            for order in interleavings(&old_order, &ctx.fresh) {
-                let s = self.chain(&order, ctx.ext.size());
-                out.push(Pointed::new(s, ctx.new_points.clone()));
-            }
+            release_structure(ctx.ext);
         }
         out
     }

@@ -106,7 +106,7 @@ pub fn generate(kind: ClassKind, rng: &mut FuzzRng, max_size: usize) -> Scenario
 }
 
 /// The guard-variable names of a register list (`x` → `x_old`, `x_new`).
-fn guard_vars(registers: &[String]) -> Vec<String> {
+pub(crate) fn guard_vars(registers: &[String]) -> Vec<String> {
     registers
         .iter()
         .flat_map(|r| [format!("{r}_old"), format!("{r}_new")])
@@ -115,7 +115,7 @@ fn guard_vars(registers: &[String]) -> Vec<String> {
 
 /// What one guard atom may mention, per class family.
 #[derive(Debug)]
-enum AtomPool {
+pub(crate) enum AtomPool {
     /// Relation atoms over declared `(name, arity)` relations.
     Relational(Vec<(String, usize)>),
     /// `v ~ w` atoms.
@@ -130,7 +130,7 @@ enum AtomPool {
     Data(Box<AtomPool>, &'static str),
 }
 
-fn atom_pool(class: &ScenarioClass) -> AtomPool {
+pub(crate) fn atom_pool(class: &ScenarioClass) -> AtomPool {
     match class {
         ScenarioClass::Free { relations } | ScenarioClass::Hom { relations, .. } => {
             AtomPool::Relational(relations.clone())
@@ -147,7 +147,12 @@ fn atom_pool(class: &ScenarioClass) -> AtomPool {
 }
 
 /// One guard: a conjunction of `1..=width` literals.
-fn gen_guard(rng: &mut FuzzRng, pool: &AtomPool, vars: &[String], width: usize) -> String {
+pub(crate) fn gen_guard(
+    rng: &mut FuzzRng,
+    pool: &AtomPool,
+    vars: &[String],
+    width: usize,
+) -> String {
     let n = rng.range(1, width);
     let parts: Vec<String> = (0..n).map(|_| gen_literal(rng, pool, vars)).collect();
     parts.join(" & ")

@@ -30,11 +30,13 @@
 
 pub mod diff;
 pub mod generate;
+pub mod macro_gen;
 pub mod rng;
 pub mod scenario;
 pub mod shrink;
 
 pub use diff::{check, DiffOptions, DiffReport};
 pub use generate::generate_seeded;
+pub use macro_gen::{macro_suite, MacroScenario};
 pub use rng::FuzzRng;
 pub use scenario::{Built, BuiltClass, ClassKind, DataValuesKind, Scenario, ScenarioClass};

@@ -1,0 +1,672 @@
+//! The pinned `bench/macro/` workload suite.
+//!
+//! E1–E10 are all sub-3ms on the interned engine — too small to steer the
+//! next optimization round. This module mints a fixed set of *large*
+//! scenarios (deep chains, wide layered grids, rich hom templates,
+//! 100+-rule guarded systems, long counter programs) from pinned seeds.
+//! `macro_json --mint` renders them under `bench/macro/` with their
+//! verified outcomes stamped as `expect` lines, and the committed
+//! `bench/macro_baseline.json` gates their wall-clock in CI.
+//!
+//! Every scenario is deterministic: the same [`macro_suite`] call always
+//! returns byte-identical `.dds` renderings, so the committed corpus can be
+//! re-minted and diffed at any time.
+//!
+//! Design notes on scale. The engine dedups configurations and memoizes
+//! `(configuration, guard)` expansions, so runtime is driven by the size of
+//! the *reachable canonical configuration space* times the per-expansion
+//! amalgam enumeration cost, not by rule repetition. The families below
+//! pull those levers deliberately:
+//!
+//! * **depth** — long forward chains force hundreds of BFS layers, the
+//!   worst case for per-layer fan-out overhead (each layer is a
+//!   synchronization point);
+//! * **register count / schema width** — two registers over a binary plus
+//!   several unary relations put hundreds of canonical configurations in
+//!   every control state, and each fresh-point amalgam enumerates
+//!   `2^optional-facts` candidates;
+//! * **guard diversity** — syntactically distinct guards defeat the
+//!   transition memo across rules, so 100+-rule states do real work;
+//! * **skew** — grids where one state of a layer carries most of the rules
+//!   leave naive per-layer scheduling idle, the exact shape the
+//!   work-stealing pool exists for.
+
+use crate::generate::{atom_pool, gen_guard, guard_vars};
+use crate::rng::FuzzRng;
+use crate::scenario::{DataValuesKind, Scenario, ScenarioClass, TreesDecl, WordsDecl};
+use dds_reductions::counter::Instr;
+
+/// Suite-wide base seed; every scenario derives its own stream from this
+/// plus its id, so adding a scenario never re-rolls the others.
+const SUITE_SEED: u64 = 0x2013_0d05;
+
+/// One entry of the pinned macro suite.
+#[derive(Clone, Debug)]
+pub struct MacroScenario {
+    /// Stable scenario id — doubles as the `bench/macro/<id>.dds` file stem
+    /// and the baseline record id.
+    pub id: String,
+    /// The generated workload.
+    pub scenario: Scenario,
+}
+
+/// The full pinned suite, in id order.
+pub fn macro_suite() -> Vec<MacroScenario> {
+    let mut out = vec![
+        // Deep chains: many BFS layers, moderate width. The `false` accept
+        // variants are unsatisfiable, so the search must exhaust the space.
+        free_chain("chain_free_deep", 140, 1, 3, 4, true),
+        free_chain("chain_free_exhaust", 180, 1, 3, 4, false),
+        free_chain("chain_free_thin", 260, 1, 1, 0, true),
+        free_chain("chain_free_wide", 18, 2, 2, 2, true),
+        free_chain("chain_free_wide_exhaust", 14, 2, 2, 2, false),
+        // Layered grids: wide layers with skewed per-state rule counts.
+        free_grid("grid_free_skew", 14, 4, 10, true),
+        free_grid("grid_free_dense", 10, 5, 6, true),
+        free_grid("grid_free_exhaust", 8, 4, 6, false),
+        // Hom templates: colored lifts multiply the configuration space by
+        // template placements.
+        hom_grid("hom_grid_k3", 3, 5, 3, 3, true),
+        hom_grid("hom_grid_k4", 4, 4, 3, 2, true),
+        hom_grid("hom_grid_k4_exhaust", 4, 3, 3, 2, false),
+        hom_chain("hom_chain_k5", 5, 160, true),
+        // Equivalence / linear order: fixed schemas, depth + register count
+        // carry the weight.
+        equiv_chain("equiv_deep", 80, 4, true),
+        equiv_chain("equiv_exhaust", 60, 4, false),
+        order_chain("order_deep", 130, 2, true),
+        order_chain("order_exhaust", 110, 2, false),
+        // Words: positions in a regular language, cyclic NFAs so chains can
+        // always extend.
+        words_chain("words_deep", 4, 50, 2, true),
+        words_chain("words_two_reg", 5, 40, 2, true),
+        words_chain("words_exhaust", 3, 30, 2, false),
+        // Trees: ancestor-order walks over an unranked document language.
+        trees_chain("trees_walk", 20, 2, true),
+        trees_chain("trees_exhaust", 14, 2, false),
+        // Data products: inner class times a dense order on values.
+        data_chain("data_order_deep", 70, 1, true),
+        data_chain("data_order_exhaust", 30, 2, false),
+        // Counter machines: §6 reductions, long straight-line programs.
+        counter_program("counter_halts", 12, true),
+        counter_program("counter_open", 14, false),
+    ];
+    out.sort_by(|a, b| a.id.cmp(&b.id));
+    out
+}
+
+/// Returns the suite entry with the given id, if any.
+pub fn find(id: &str) -> Option<MacroScenario> {
+    macro_suite().into_iter().find(|m| m.id == id)
+}
+
+/// Per-scenario RNG stream, keyed by the suite seed and the scenario id so
+/// ids are stable under suite growth.
+fn rng_for(id: &str) -> FuzzRng {
+    let mut tag: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in id.bytes() {
+        tag ^= b as u64;
+        tag = tag.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    FuzzRng::new(SUITE_SEED ^ tag)
+}
+
+/// `s000`-style state names keep rendered rule order lexicographic.
+fn sname(i: usize) -> String {
+    format!("s{i:03}")
+}
+
+fn chain_states(depth: usize) -> Vec<(String, bool)> {
+    let mut states: Vec<(String, bool)> = (0..depth).map(|i| (sname(i), i == 0)).collect();
+    states.push(("acc".into(), false));
+    states
+}
+
+/// An accept-state rule from the last chain state: satisfiable (`reach`
+/// finds it on the final layer) or unsatisfiable (the search exhausts the
+/// whole space and reports `empty`).
+fn accept_rule(depth: usize, sat: bool, sat_guard: &str) -> (String, String, String) {
+    let guard = if sat {
+        sat_guard.to_string()
+    } else {
+        "x_old != x_old".to_string()
+    };
+    (sname(depth - 1), "acc".into(), guard)
+}
+
+/// A free-relational chain: `depth` states in a forward line over a schema
+/// with one binary relation and `unaries` unary relations, `regs`
+/// registers, plus `extra` randomly-guarded parallel rules per step.
+fn free_chain(
+    id: &str,
+    depth: usize,
+    regs: usize,
+    unaries: usize,
+    extra: usize,
+    sat: bool,
+) -> MacroScenario {
+    let mut rng = rng_for(id);
+    let mut relations = vec![("E".to_string(), 2)];
+    for u in 0..unaries {
+        relations.push((format!("u{u}"), 1));
+    }
+    let class = ScenarioClass::Free {
+        relations: relations.clone(),
+    };
+    let registers: Vec<String> = ["x", "y"][..regs].iter().map(|r| r.to_string()).collect();
+    let vars = guard_vars(&registers);
+    let pool = atom_pool(&class);
+
+    // Satisfiable step shapes: every configuration has a successor under
+    // each of these (the free class can always extend by a fresh point).
+    let mut steps: Vec<String> = vec![
+        "E(x_old, x_new)".into(),
+        "E(x_new, x_old)".into(),
+        "E(x_old, x_new) & x_old != x_new".into(),
+    ];
+    for u in 0..unaries {
+        steps.push(format!("E(x_old, x_new) & u{u}(x_new)"));
+    }
+    if regs == 2 {
+        steps = steps
+            .iter()
+            .map(|s| format!("{s} & y_old = y_new"))
+            .collect();
+        steps.push("E(x_old, x_new) & E(y_old, y_new)".into());
+        steps.push("E(x_old, y_new) & y_old = x_new".into());
+    }
+
+    let mut rules = Vec::new();
+    for i in 0..depth - 1 {
+        rules.push((sname(i), sname(i + 1), rng.pick(&steps).clone()));
+        for _ in 0..extra {
+            if rng.chance(2, 5) {
+                rules.push((sname(i), sname(i + 1), gen_guard(&mut rng, &pool, &vars, 2)));
+            }
+        }
+    }
+    let sat_guard = if regs == 2 {
+        "x_old = x_new & y_old = y_new"
+    } else {
+        "x_old = x_new"
+    };
+    rules.push(accept_rule(depth, sat, sat_guard));
+    scenario(id, class, registers, chain_states(depth), rules)
+}
+
+/// A layered free-relational grid: `layers × width` states, forward rules
+/// only, with a deliberately skewed rule distribution — state 0 of each
+/// layer carries ~`3 × extra` rules while the rest carry few.
+fn free_grid(id: &str, layers: usize, width: usize, extra: usize, sat: bool) -> MacroScenario {
+    let relations = vec![("E".to_string(), 2), ("u0".to_string(), 1)];
+    let class = ScenarioClass::Free {
+        relations: relations.clone(),
+    };
+    let step = "E(x_old, x_new) & y_old = y_new";
+    grid(id, class, 2, layers, width, extra, step, sat)
+}
+
+/// A near-complete hom template on `n` colored elements: all non-loop
+/// edges minus a random ~20%, random loops, and a non-trivial red set, so
+/// relational step guards stay satisfiable from every configuration.
+fn hom_template(rng: &mut FuzzRng, n: usize) -> ScenarioClass {
+    let relations = vec![("E".to_string(), 2), ("red".to_string(), 1)];
+    let elements: Vec<String> = (0..n).map(|i| format!("e{i}")).collect();
+    let mut facts = Vec::new();
+    for i in 0..n {
+        for j in 0..n {
+            let keep = if i == j {
+                rng.chance(1, 3)
+            } else {
+                !rng.chance(1, 5)
+            };
+            if keep {
+                facts.push((
+                    "E".to_string(),
+                    vec![elements[i].clone(), elements[j].clone()],
+                ));
+            }
+        }
+    }
+    for e in rng.nonempty_subset(n) {
+        facts.push(("red".to_string(), vec![elements[e].clone()]));
+    }
+    ScenarioClass::Hom {
+        relations,
+        elements,
+        facts,
+    }
+}
+
+/// A layered grid over a hom class (see [`free_grid`]).
+fn hom_grid(
+    id: &str,
+    template_n: usize,
+    layers: usize,
+    width: usize,
+    extra: usize,
+    sat: bool,
+) -> MacroScenario {
+    let mut rng = rng_for(id);
+    let class = hom_template(&mut rng, template_n);
+    let step = "E(x_old, x_new) & y_old = y_new";
+    grid(id, class, 2, layers, width, extra, step, sat)
+}
+
+/// A deep single-register chain over a hom class.
+fn hom_chain(id: &str, template_n: usize, depth: usize, sat: bool) -> MacroScenario {
+    let mut rng = rng_for(id);
+    let class = hom_template(&mut rng, template_n);
+    let steps = [
+        "E(x_old, x_new)",
+        "E(x_new, x_old)",
+        "E(x_old, x_new) & red(x_new)",
+    ];
+    let mut rules = Vec::new();
+    for i in 0..depth - 1 {
+        rules.push((sname(i), sname(i + 1), rng.pick(&steps).to_string()));
+        if rng.chance(1, 3) {
+            rules.push((sname(i), sname(i + 1), rng.pick(&steps).to_string()));
+        }
+    }
+    rules.push(accept_rule(depth, sat, "x_old = x_new"));
+    scenario(id, class, vec!["x".into()], chain_states(depth), rules)
+}
+
+/// The `& r_old = r_new` conjuncts carrying every register after the first
+/// unchanged through a step.
+fn carry_tail(registers: &[String]) -> String {
+    registers[1..]
+        .iter()
+        .map(|r| format!(" & {r}_old = {r}_new"))
+        .collect()
+}
+
+/// A deep chain over finite equivalence relations.
+fn equiv_chain(id: &str, depth: usize, regs: usize, sat: bool) -> MacroScenario {
+    let mut rng = rng_for(id);
+    let registers: Vec<String> = ["x", "y", "z", "w"][..regs]
+        .iter()
+        .map(|r| r.to_string())
+        .collect();
+    let carry = carry_tail(&registers);
+    let steps: Vec<String> = [
+        "x_old ~ x_new",
+        "!(x_old ~ x_new)",
+        "x_old ~ x_new & x_old != x_new",
+    ]
+    .iter()
+    .map(|s| format!("{s}{carry}"))
+    .collect();
+    let mut rules = Vec::new();
+    for i in 0..depth - 1 {
+        rules.push((sname(i), sname(i + 1), rng.pick(&steps).clone()));
+        if regs >= 2 && rng.chance(1, 2) {
+            let tail: String = registers[2..]
+                .iter()
+                .map(|r| format!(" & {r}_old = {r}_new"))
+                .collect();
+            rules.push((
+                sname(i),
+                sname(i + 1),
+                format!("x_old ~ y_new & y_old = x_new{tail}"),
+            ));
+        }
+    }
+    rules.push(accept_rule(depth, sat, "x_old = x_new"));
+    scenario(
+        id,
+        ScenarioClass::Equivalence,
+        registers,
+        chain_states(depth),
+        rules,
+    )
+}
+
+/// A deep chain over finite strict linear orders.
+fn order_chain(id: &str, depth: usize, regs: usize, sat: bool) -> MacroScenario {
+    let mut rng = rng_for(id);
+    let registers: Vec<String> = ["x", "y", "z"][..regs]
+        .iter()
+        .map(|r| r.to_string())
+        .collect();
+    let carry = carry_tail(&registers);
+    // No identity step: pure `=` guards collapse a state to one cheap
+    // configuration, and a run of them makes a whole scenario trivial.
+    let steps: Vec<String> = ["x_old < x_new", "x_new < x_old"]
+        .iter()
+        .map(|s| format!("{s}{carry}"))
+        .collect();
+    let mut rules = Vec::new();
+    for i in 0..depth - 1 {
+        rules.push((sname(i), sname(i + 1), rng.pick(&steps).clone()));
+        if regs >= 2 && rng.chance(1, 2) {
+            let tail: String = registers[2..]
+                .iter()
+                .map(|r| format!(" & {r}_old = {r}_new"))
+                .collect();
+            rules.push((
+                sname(i),
+                sname(i + 1),
+                format!("x_old < y_new & y_old = x_new{tail}"),
+            ));
+        }
+    }
+    rules.push(accept_rule(depth, sat, "x_old = x_new"));
+    scenario(
+        id,
+        ScenarioClass::LinearOrder,
+        registers,
+        chain_states(depth),
+        rules,
+    )
+}
+
+/// A cyclic `n`-state NFA over `{a, b, c}` (the cycle keeps the language
+/// infinite, so position chains can always extend), plus random chords.
+fn words_class(rng: &mut FuzzRng, n: usize) -> ScenarioClass {
+    let letters: Vec<String> = ["a", "b", "c"].iter().map(|l| l.to_string()).collect();
+    let states: Vec<(String, String)> = (0..n)
+        .map(|i| (format!("n{i}"), letters[i % letters.len()].clone()))
+        .collect();
+    let mut edges: Vec<(String, String)> = (0..n)
+        .map(|i| (format!("n{i}"), format!("n{}", (i + 1) % n)))
+        .collect();
+    for p in 0..n {
+        for q in 0..n {
+            if rng.chance(1, 4) {
+                edges.push((format!("n{p}"), format!("n{q}")));
+            }
+        }
+    }
+    edges.sort();
+    edges.dedup();
+    ScenarioClass::Words(WordsDecl {
+        letters,
+        states,
+        edges,
+        entry: vec!["n0".into()],
+        accepting: (0..n).map(|i| format!("n{i}")).collect(),
+    })
+}
+
+/// A deep chain over word positions: `<` steps forward through the word,
+/// letter guards constrain the landing position.
+fn words_chain(id: &str, nfa_states: usize, depth: usize, regs: usize, sat: bool) -> MacroScenario {
+    let mut rng = rng_for(id);
+    let class = words_class(&mut rng, nfa_states);
+    let registers: Vec<String> = ["x", "y"][..regs].iter().map(|r| r.to_string()).collect();
+    let carry = if regs == 2 { " & y_old = y_new" } else { "" };
+    let steps: Vec<String> = [
+        "x_old < x_new",
+        "x_old < x_new & a(x_new)",
+        "x_old < x_new & b(x_new)",
+        "x_old = x_new",
+    ]
+    .iter()
+    .map(|s| format!("{s}{carry}"))
+    .collect();
+    let mut rules = Vec::new();
+    for i in 0..depth - 1 {
+        rules.push((sname(i), sname(i + 1), rng.pick(&steps).clone()));
+        if regs == 2 && rng.chance(1, 2) {
+            rules.push((
+                sname(i),
+                sname(i + 1),
+                "x_old < y_new & y_old = x_new".to_string(),
+            ));
+        }
+    }
+    rules.push(accept_rule(depth, sat, "x_old = x_new"));
+    scenario(id, class, registers, chain_states(depth), rules)
+}
+
+/// A descendant walk over an unranked-tree language (`r a* b` unary
+/// chains, the deterministic document shape the fuzzer also falls back
+/// to — deep trees exist, so proper-descendant steps stay satisfiable).
+fn trees_chain(id: &str, depth: usize, regs: usize, sat: bool) -> MacroScenario {
+    let mut rng = rng_for(id);
+    let class = ScenarioClass::Trees(TreesDecl {
+        labels: vec!["r".into(), "a".into(), "b".into()],
+        states: vec![
+            ("t0".into(), "r".into()),
+            ("t1".into(), "a".into()),
+            ("t2".into(), "b".into()),
+        ],
+        leaf: vec!["t2".into()],
+        root: vec!["t0".into()],
+        rightmost: vec!["t0".into(), "t1".into(), "t2".into()],
+        first_child: vec![
+            ("t1".into(), "t0".into()),
+            ("t2".into(), "t0".into()),
+            ("t1".into(), "t1".into()),
+            ("t2".into(), "t1".into()),
+        ],
+        next_sibling: Vec::new(),
+    });
+    let registers: Vec<String> = ["x", "y"][..regs].iter().map(|r| r.to_string()).collect();
+    let carry = carry_tail(&registers);
+    let steps: Vec<String> = [
+        "x_old <= x_new & x_old != x_new",
+        "x_old <= x_new & x_old != x_new & a(x_new)",
+        "x_new <= x_old & x_old != x_new",
+        "x_old = x_new",
+    ]
+    .iter()
+    .map(|s| format!("{s}{carry}"))
+    .collect();
+    let mut rules = Vec::new();
+    for i in 0..depth - 1 {
+        rules.push((sname(i), sname(i + 1), rng.pick(&steps).clone()));
+        if regs == 2 && rng.chance(1, 2) {
+            rules.push((
+                sname(i),
+                sname(i + 1),
+                "x_old <= y_new & y_old = x_new".to_string(),
+            ));
+        }
+    }
+    let sat_guard = if regs == 2 {
+        "x_old = x_new & y_old = y_new"
+    } else {
+        "x_old = x_new"
+    };
+    rules.push(accept_rule(depth, sat, sat_guard));
+    scenario(id, class, registers, chain_states(depth), rules)
+}
+
+/// A deep chain over a data product: free graph steps whose register
+/// values also climb a dense linear order (`⊗ ⟨ℚ,<⟩`).
+fn data_chain(id: &str, depth: usize, regs: usize, sat: bool) -> MacroScenario {
+    let mut rng = rng_for(id);
+    let class = ScenarioClass::Data {
+        values: DataValuesKind::RationalOrder,
+        inner: Box::new(ScenarioClass::Free {
+            relations: vec![("E".to_string(), 2)],
+        }),
+    };
+    let registers: Vec<String> = ["x", "y"][..regs].iter().map(|r| r.to_string()).collect();
+    let carry = carry_tail(&registers);
+    // Ascending steps only: every configuration can extend upward (ℚ is
+    // dense and unbounded), so the chain never starves.
+    let steps: Vec<String> = [
+        "E(x_old, x_new) & x_old << x_new",
+        "E(x_old, x_new) & x_old != x_new",
+        "E(x_new, x_old) & x_old << x_new",
+    ]
+    .iter()
+    .map(|s| format!("{s}{carry}"))
+    .collect();
+    let mut rules = Vec::new();
+    for i in 0..depth - 1 {
+        rules.push((sname(i), sname(i + 1), rng.pick(&steps).clone()));
+        if regs == 2 && rng.chance(1, 2) {
+            rules.push((
+                sname(i),
+                sname(i + 1),
+                "E(x_old, y_new) & y_old = x_new".to_string(),
+            ));
+        }
+    }
+    let sat_guard = if regs == 2 {
+        "x_old = x_new & y_old = y_new"
+    } else {
+        "x_old = x_new"
+    };
+    rules.push(accept_rule(depth, sat, sat_guard));
+    scenario(id, class, registers, chain_states(depth), rules)
+}
+
+/// A §6 two-counter program: pump `m` into `c0`, drain it into `c1`, then
+/// halt. The halting run needs roughly `3m` steps, so the bound decides
+/// the `bounded-halt` outcome: `halts` when generous, `open` when the
+/// budget cannot even cover the drain loop.
+fn counter_program(id: &str, m: usize, halts: bool) -> MacroScenario {
+    let mut program = Vec::new();
+    // 0..m: inc c0, falling through.
+    for i in 0..m {
+        program.push(Instr::Inc { c: 0, next: i + 1 });
+    }
+    // m: drain loop head; m+1: move one unit to c1 and jump back.
+    let head = m;
+    program.push(Instr::JzDec {
+        c: 0,
+        if_zero: m + 2,
+        if_pos: m + 1,
+    });
+    program.push(Instr::Inc { c: 1, next: head });
+    program.push(Instr::Halt);
+    let bound = if halts { 3 * m + 2 } else { m };
+    let scenario = Scenario {
+        name: id.to_string(),
+        class: ScenarioClass::Counter { program, bound },
+        registers: Vec::new(),
+        states: Vec::new(),
+        accept: Vec::new(),
+        rules: Vec::new(),
+    };
+    MacroScenario {
+        id: id.to_string(),
+        scenario,
+    }
+}
+
+/// Shared layered-grid builder: `layers × width` states named
+/// `l{layer}_{i}`, forward rules only (so BFS depth is `layers`), one
+/// guaranteed-satisfiable backbone step per state, and a skewed sprinkle
+/// of randomly-guarded extras concentrated on state 0 of each layer.
+#[allow(clippy::too_many_arguments)]
+fn grid(
+    id: &str,
+    class: ScenarioClass,
+    regs: usize,
+    layers: usize,
+    width: usize,
+    extra: usize,
+    step: &str,
+    sat: bool,
+) -> MacroScenario {
+    let mut rng = rng_for(id);
+    let registers: Vec<String> = ["x", "y"][..regs].iter().map(|r| r.to_string()).collect();
+    let vars = guard_vars(&registers);
+    let pool = atom_pool(&class);
+    let state = |l: usize, i: usize| format!("l{l:02}_{i}");
+    let mut states: Vec<(String, bool)> = Vec::new();
+    for l in 0..layers {
+        for i in 0..width {
+            states.push((state(l, i), l == 0 && i == 0));
+        }
+    }
+    states.push(("acc".into(), false));
+    let mut rules = Vec::new();
+    for l in 0..layers - 1 {
+        for i in 0..width {
+            // Backbone: always-satisfiable forward step.
+            rules.push((state(l, i), state(l + 1, (i + l) % width), step.to_string()));
+            // Skew: the hub state carries ~3x the extras of the rest.
+            let n_extra = if i == 0 { extra * 3 } else { extra.div_ceil(3) };
+            for _ in 0..n_extra {
+                let target = state(l + 1, rng.below(width));
+                rules.push((state(l, i), target, gen_guard(&mut rng, &pool, &vars, 2)));
+            }
+        }
+    }
+    let sat_guard = if regs == 2 {
+        "x_old = x_new & y_old = y_new"
+    } else {
+        "x_old = x_new"
+    };
+    for i in 0..width {
+        let guard = if sat {
+            sat_guard.to_string()
+        } else {
+            "x_old != x_old".to_string()
+        };
+        rules.push((state(layers - 1, i), "acc".into(), guard));
+    }
+    scenario(id, class, registers, states, rules)
+}
+
+fn scenario(
+    id: &str,
+    class: ScenarioClass,
+    registers: Vec<String>,
+    states: Vec<(String, bool)>,
+    rules: Vec<(String, String, String)>,
+) -> MacroScenario {
+    MacroScenario {
+        id: id.to_string(),
+        scenario: Scenario {
+            name: id.to_string(),
+            class,
+            registers,
+            states,
+            accept: vec!["acc".into()],
+            rules,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_is_deterministic_and_sorted() {
+        let a = macro_suite();
+        let b = macro_suite();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.scenario.render(), y.scenario.render());
+        }
+        let ids: Vec<&str> = a.iter().map(|m| m.id.as_str()).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(ids, sorted, "suite must be in id order");
+    }
+
+    #[test]
+    fn suite_has_at_least_twenty_scenarios_with_unique_ids() {
+        let suite = macro_suite();
+        assert!(suite.len() >= 20, "issue demands >= 20 macro scenarios");
+        let mut ids: Vec<&str> = suite.iter().map(|m| m.id.as_str()).collect();
+        ids.dedup();
+        assert_eq!(ids.len(), suite.len());
+    }
+
+    #[test]
+    fn every_scenario_builds() {
+        for m in macro_suite() {
+            m.scenario
+                .build()
+                .unwrap_or_else(|e| panic!("{} fails to build: {e}", m.id));
+        }
+    }
+
+    #[test]
+    fn find_returns_suite_entries() {
+        assert!(find("chain_free_deep").is_some());
+        assert!(find("no_such_scenario").is_none());
+    }
+}

@@ -3,9 +3,115 @@
 use crate::element::Element;
 use crate::error::StructureError;
 use crate::schema::{Schema, SymbolId, SymbolKind};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
+
+/// One relation's tuple set, stored flat: rows of `arity` elements
+/// concatenated in lexicographic order inside a single `Vec`.
+///
+/// The engine's amalgamation hot path clones small structures once per
+/// candidate fact subset; with per-tuple `BTreeSet<Vec<Element>>` nodes
+/// every clone was a fresh allocation per tuple. Flat rows make a clone one
+/// `memcpy` per relation and let [`Rows::clone_from`] reuse the existing
+/// buffer, which is what the engine's scratch pool builds on. Membership is
+/// a binary search over row indices; iteration is `chunks_exact` — both in
+/// the same lexicographic order the `BTreeSet` produced, so canonical keys
+/// and every rendered artifact are unchanged.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Rows {
+    arity: usize,
+    /// Concatenated rows, lexicographically sorted. Empty for `arity == 0`
+    /// — a nullary relation's single empty tuple cannot occupy row space,
+    /// so its presence lives in `nullary`.
+    data: Vec<Element>,
+    /// Whether the empty tuple is present (`arity == 0` only).
+    nullary: bool,
+}
+
+impl Rows {
+    fn new(arity: usize) -> Rows {
+        Rows {
+            arity,
+            data: Vec::new(),
+            nullary: false,
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self.data.len().checked_div(self.arity) {
+            Some(rows) => rows,
+            None => usize::from(self.nullary),
+        }
+    }
+
+    /// Row index of `tuple`, or the insertion point keeping the rows sorted.
+    fn search(&self, tuple: &[Element]) -> Result<usize, usize> {
+        debug_assert_eq!(tuple.len(), self.arity);
+        let n = self.len();
+        let (mut lo, mut hi) = (0usize, n);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            match self.data[mid * self.arity..(mid + 1) * self.arity].cmp(tuple) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => return Ok(mid),
+            }
+        }
+        Err(lo)
+    }
+
+    fn contains(&self, tuple: &[Element]) -> bool {
+        if self.arity == 0 {
+            return self.nullary;
+        }
+        self.search(tuple).is_ok()
+    }
+
+    fn insert(&mut self, tuple: &[Element]) {
+        if self.arity == 0 {
+            self.nullary = true;
+            return;
+        }
+        if let Err(pos) = self.search(tuple) {
+            let at = pos * self.arity;
+            self.data.splice(at..at, tuple.iter().copied());
+        }
+    }
+
+    fn remove(&mut self, tuple: &[Element]) {
+        if self.arity == 0 {
+            self.nullary = false;
+            return;
+        }
+        if let Ok(pos) = self.search(tuple) {
+            let at = pos * self.arity;
+            self.data.drain(at..at + self.arity);
+        }
+    }
+
+    /// Iterates rows in lexicographic order.
+    fn iter(&self) -> impl Iterator<Item = &[Element]> {
+        let empty = if self.arity == 0 && self.nullary {
+            Some(&[][..])
+        } else {
+            None
+        };
+        let rows = if self.arity > 0 {
+            Some(self.data.chunks_exact(self.arity))
+        } else {
+            None
+        };
+        empty.into_iter().chain(rows.into_iter().flatten())
+    }
+
+    /// Clones `src` into `self`, reusing the row buffer's allocation.
+    fn clone_from_rows(&mut self, src: &Rows) {
+        self.arity = src.arity;
+        self.nullary = src.nullary;
+        self.data.clone_from(&src.data);
+    }
+}
 
 /// A finite structure (a "database" in the paper's terminology): a domain
 /// `{e0, .., e(n-1)}` together with an interpretation of every relation
@@ -31,24 +137,57 @@ use std::sync::Arc;
 /// assert!(g.holds(edge, &[Element(0), Element(1)]));
 /// assert!(!g.holds(edge, &[Element(1), Element(0)]));
 /// ```
-#[derive(Clone, PartialEq, Eq)]
+#[derive(PartialEq, Eq)]
 pub struct Structure {
     schema: Arc<Schema>,
     size: usize,
     /// Relation tables, indexed by symbol id (empty for function symbols).
-    rels: Vec<BTreeSet<Vec<Element>>>,
+    rels: Vec<Rows>,
     /// Function tables, indexed by symbol id (empty for relation symbols).
     funcs: Vec<BTreeMap<Vec<Element>, Element>>,
+}
+
+impl Clone for Structure {
+    fn clone(&self) -> Structure {
+        Structure {
+            schema: self.schema.clone(),
+            size: self.size,
+            rels: self.rels.clone(),
+            funcs: self.funcs.clone(),
+        }
+    }
+
+    /// Reuses `self`'s relation buffers — the reason the engine's scratch
+    /// pool can produce candidate structures without allocating.
+    fn clone_from(&mut self, src: &Structure) {
+        self.schema = src.schema.clone();
+        self.size = src.size;
+        if self.rels.len() == src.rels.len() {
+            for (dst, s) in self.rels.iter_mut().zip(&src.rels) {
+                dst.clone_from_rows(s);
+            }
+        } else {
+            self.rels.clone_from(&src.rels);
+        }
+        self.funcs.clone_from(&src.funcs);
+    }
 }
 
 impl Structure {
     /// Creates a structure with `size` elements and empty interpretations.
     pub fn new(schema: Arc<Schema>, size: usize) -> Structure {
+        let rels = schema
+            .symbols()
+            .map(|s| match schema.kind(s) {
+                SymbolKind::Relation => Rows::new(schema.arity(s)),
+                SymbolKind::Function => Rows::new(0),
+            })
+            .collect();
         let n = schema.len();
         Structure {
             schema,
             size,
-            rels: vec![BTreeSet::new(); n],
+            rels,
             funcs: vec![BTreeMap::new(); n],
         }
     }
@@ -106,7 +245,7 @@ impl Structure {
     /// Inserts a tuple into a relation.
     pub fn add_fact(&mut self, rel: SymbolId, tuple: &[Element]) -> Result<(), StructureError> {
         self.check(rel, tuple, SymbolKind::Relation)?;
-        self.rels[rel.index()].insert(tuple.to_vec());
+        self.rels[rel.index()].insert(tuple);
         Ok(())
     }
 
@@ -176,7 +315,7 @@ impl Structure {
 
     /// Iterates over the tuples of a relation in lexicographic order.
     pub fn rel_tuples(&self, rel: SymbolId) -> impl Iterator<Item = &[Element]> {
-        self.rels[rel.index()].iter().map(|t| t.as_slice())
+        self.rels[rel.index()].iter()
     }
 
     /// Number of tuples in a relation.
@@ -286,7 +425,7 @@ impl Structure {
         for r in self.schema.relations() {
             for tuple in self.rel_tuples(r) {
                 if let Some(mapped) = map_tuple(tuple, &old_to_new) {
-                    sub.rels[r.index()].insert(mapped);
+                    sub.rels[r.index()].insert(&mapped);
                 }
             }
         }
@@ -340,14 +479,14 @@ impl Structure {
         let mut out = Structure::new(self.schema.clone(), self.size + other.size);
         for r in self.schema.relations() {
             for t in self.rel_tuples(r) {
-                out.rels[r.index()].insert(t.to_vec());
+                out.rels[r.index()].insert(t);
             }
             for t in other.rel_tuples(r) {
                 let shifted: Vec<Element> = t
                     .iter()
                     .map(|e| Element::from_index(e.index() + self.size))
                     .collect();
-                out.rels[r.index()].insert(shifted);
+                out.rels[r.index()].insert(&shifted);
             }
         }
         Ok(out)
@@ -372,7 +511,7 @@ impl Structure {
         for r in self.schema.relations() {
             for t in self.rel_tuples(r) {
                 let mapped: Vec<Element> = t.iter().map(|e| perm[e.index()]).collect();
-                out.rels[r.index()].insert(mapped);
+                out.rels[r.index()].insert(&mapped);
             }
         }
         for f in self.schema.functions() {
@@ -390,6 +529,12 @@ impl Structure {
         let mut out = self.clone();
         out.size += extra;
         out
+    }
+
+    /// In-place variant of [`Structure::extend_domain`], for callers reusing
+    /// a buffer (e.g. the amalgamation scratch pool) instead of cloning.
+    pub fn extend_domain_in_place(&mut self, extra: usize) {
+        self.size += extra;
     }
 }
 

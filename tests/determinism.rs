@@ -219,6 +219,86 @@ fn counter_machine_fact15_both_polarities() {
     assert_deterministic(&class, &system, false);
 }
 
+/// Schema rich enough that a single unconstrained expansion has 100+
+/// distinct successor configurations (2-pointed structures over one binary
+/// and two unary relations: hundreds of isomorphism classes).
+fn skewed_schema() -> std::sync::Arc<Schema> {
+    let mut s = Schema::new();
+    s.add_relation("E", 2).unwrap();
+    s.add_relation("red", 1).unwrap();
+    s.add_relation("blue", 1).unwrap();
+    s.finish()
+}
+
+/// Builds a system whose BFS layers are deliberately skewed: from every
+/// configuration, one rule fans out into 100+ successors (all extensions by
+/// two unconstrained fresh registers) while the sibling rule produces
+/// exactly one. The `fat` state is a sink and the `thin` branch dead-ends
+/// on an unsatisfiable guard, so the search must exhaust the whole skewed
+/// space (no early accept can mask a scheduling bug).
+fn skewed_system(schema: std::sync::Arc<Schema>) -> System {
+    let mut b = SystemBuilder::new(schema, &["x", "y"]);
+    b.state("s").initial();
+    b.state("fat");
+    b.state("thin");
+    b.state("dead").accepting();
+    // Unconstrained registers: every placement and every subset of new
+    // tuples is an amalgam — the hot, wide task.
+    b.rule("s", "fat", "x_new = x_new").unwrap();
+    // Frozen registers: exactly one successor — the near-empty task.
+    b.rule("s", "thin", "x_old = x_new & y_old = y_new")
+        .unwrap();
+    b.rule("thin", "dead", "x_old != x_old").unwrap();
+    b.finish().unwrap()
+}
+
+/// One state with 100+ successors next to near-empty states, pinned
+/// bit-identical at 1/2/4/8 workers (and at `chunk_size = 1`, the maximal
+/// steal-interleaving setting).
+#[test]
+fn skewed_layers_bit_identical() {
+    let schema = skewed_schema();
+    let system = skewed_system(schema.clone());
+    let class = FreeRelationalClass::new(schema);
+    let sequential = Engine::new(&class, &system).run();
+    // The unconstrained fat expansion is base-independent: every single
+    // fat task yields every 2-pointed structure over the schema (250+
+    // isomorphism classes), so the explored count certifies the per-task
+    // fan-out the scheduler has to balance.
+    assert!(
+        sequential.stats().configs_explored >= 500,
+        "the fat rule must actually fan out (got {})",
+        sequential.stats().configs_explored
+    );
+    assert_deterministic(&class, &system, false);
+}
+
+/// Scheduler/scratch counter sanity. The counters are diagnostics excluded
+/// from `EngineStats` equality, but they must still tell the truth: a
+/// sequential run never steals and never waits on the epoch gate, and the
+/// amalgam hot path both draws from and recycles into the scratch pool.
+#[test]
+fn steal_and_scratch_counters_sane() {
+    let schema = skewed_schema();
+    let system = skewed_system(schema.clone());
+    let class = FreeRelationalClass::new(schema);
+
+    let sequential = Engine::new(&class, &system).run();
+    assert_eq!(sequential.stats().tasks_stolen, 0);
+    assert_eq!(sequential.stats().idle_ns, 0);
+    assert!(sequential.stats().scratch_allocs > 0);
+    assert!(sequential.stats().scratch_reuses > 0);
+
+    // Parallel: the counters may differ (they are scheduling-dependent),
+    // but stats equality — which excludes them — still holds, and the
+    // steal counter stays within the total task count.
+    let parallel = Engine::new(&class, &system)
+        .with_options(EngineOptions::default().threads(4).chunk_size(1))
+        .run();
+    assert_eq!(sequential.stats(), parallel.stats());
+    assert!(parallel.stats().tasks_stolen <= parallel.stats().configs_explored as u64 * 2);
+}
+
 /// The `threads = 0` auto setting must also agree (it resolves to whatever
 /// the host offers, including 1).
 #[test]
