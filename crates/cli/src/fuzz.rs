@@ -21,24 +21,67 @@
 //! report on every machine. On failure the scenario is shrunk to a locally
 //! minimal reproducer and written to disk as a `.dds` file (format pinned
 //! by [`repro_contents`] and the golden suite).
+//!
+//! `--mode equiv` switches to the second campaign: each iteration mutates
+//! a generated base spec with a [`dds_gen::Mutation`] whose effect on
+//! outcome equivalence is known *by construction*, runs `dds equiv` on the
+//! pair, and requires the verdict to match the mutation's label —
+//! preserving mutations must verdict `equivalent`, breaking ones
+//! `divergent` with the witness on the side that still reaches. Failing
+//! pairs are shrunk (re-applying the same mutation to ever-smaller bases)
+//! and written as `-a.dds`/`-b.dds` repro pairs.
 
+use crate::equiv::EquivRequest;
 use crate::lower::{AnyClass, Task};
+use crate::runner::RunOptions;
 use crate::SpecError;
 use dds_core::{Engine, EngineOptions, EngineStats, SymbolicClass};
 use dds_gen::diff::{self, DiffOptions, DiffReport};
 use dds_gen::scenario::BuiltClass;
-use dds_gen::{generate_seeded, ClassKind, Scenario};
+use dds_gen::{generate_seeded, ClassKind, Mutation, Scenario};
 use dds_system::System;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
+/// Which fuzzing campaign to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FuzzMode {
+    /// Differential: four-way engine agreement, baselines, round-trip.
+    Diff,
+    /// Equivalence: mutation pairs checked against `dds equiv` verdicts.
+    Equiv,
+}
+
+impl FuzzMode {
+    /// The `--mode` keyword.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            FuzzMode::Diff => "diff",
+            FuzzMode::Equiv => "equiv",
+        }
+    }
+
+    /// Parses a `--mode` argument.
+    pub fn parse(s: &str) -> Option<FuzzMode> {
+        match s {
+            "diff" => Some(FuzzMode::Diff),
+            "equiv" => Some(FuzzMode::Equiv),
+            _ => None,
+        }
+    }
+}
+
 /// Everything `dds fuzz` accepts on the command line.
 #[derive(Clone, Debug)]
 pub struct FuzzOptions {
+    /// Campaign: differential (default) or equivalence pairs.
+    pub mode: FuzzMode,
     /// Base seed; every `(class, iteration)` derives its own stream.
     pub seed: u64,
-    /// Iterations per class.
+    /// Iterations per class (`--mode diff`) or total iterations round-robin
+    /// over the classes (`--mode equiv`, so `--iters 64` is a pinned
+    /// 64-pair sweep).
     pub iters: u64,
     /// Classes to fuzz (default: all eight).
     pub classes: Vec<ClassKind>,
@@ -61,6 +104,7 @@ pub struct FuzzOptions {
 impl Default for FuzzOptions {
     fn default() -> FuzzOptions {
         FuzzOptions {
+            mode: FuzzMode::Diff,
             seed: 0xDD5,
             iters: 4,
             classes: ClassKind::ALL.to_vec(),
@@ -97,6 +141,13 @@ pub struct ClassSummary {
     pub certified: u64,
     /// Iterations that passed the round-trip property.
     pub roundtrip: u64,
+    /// Equiv mode: iterations with a preserving mutation.
+    pub preserving: u64,
+    /// Equiv mode: iterations with a breaking mutation.
+    pub breaking: u64,
+    /// Equiv mode: iterations skipped (base undecided within the budget
+    /// headroom, or the proposed mutation inapplicable to the base).
+    pub skipped: u64,
 }
 
 /// One failing iteration.
@@ -133,6 +184,13 @@ impl FuzzReport {
 /// Runs the fuzzing campaign. I/O errors (repro/corpus writing) surface as
 /// `Err`; check failures are collected in the report.
 pub fn run(opts: &FuzzOptions) -> std::io::Result<FuzzReport> {
+    match opts.mode {
+        FuzzMode::Diff => run_diff(opts),
+        FuzzMode::Equiv => run_equiv(opts),
+    }
+}
+
+fn run_diff(opts: &FuzzOptions) -> std::io::Result<FuzzReport> {
     let diff_opts = opts.diff_options();
     let mut classes = Vec::new();
     let mut failures = Vec::new();
@@ -212,6 +270,248 @@ pub fn run(opts: &FuzzOptions) -> std::io::Result<FuzzReport> {
         classes,
         failures,
     })
+}
+
+/// The `--mode equiv` campaign: generate a base, mutate it with a known
+/// label, and hold `dds equiv`'s verdict to that label.
+fn run_equiv(opts: &FuzzOptions) -> std::io::Result<FuzzReport> {
+    // `dds equiv` rejects counter machines (no reachability product), so
+    // the equiv campaign round-robins over the other classes.
+    let classes: Vec<ClassKind> = opts
+        .classes
+        .iter()
+        .copied()
+        .filter(|k| *k != ClassKind::Counter)
+        .collect();
+    let mut summaries: Vec<(ClassKind, ClassSummary)> = classes
+        .iter()
+        .map(|k| (*k, ClassSummary::default()))
+        .collect();
+    let mut failures = Vec::new();
+    if classes.is_empty() {
+        return Ok(FuzzReport {
+            options: opts.clone(),
+            classes: summaries,
+            failures,
+        });
+    }
+    for i in 0..opts.iters {
+        let class_idx = (i as usize) % classes.len();
+        let kind = classes[class_idx];
+        let summary = &mut summaries[class_idx].1;
+        summary.iters += 1;
+        let base = generate_seeded(kind, opts.seed, i, opts.max_size);
+
+        // The base outcome (which side of the mutation oracle applies) is
+        // decided at a quarter of the equiv budget: the product explores
+        // both sides' configurations, and no mutation more than doubles a
+        // side, so a base decided within budget/4 keeps the pair itself
+        // decidable within the full budget — any `resource-limit` verdict
+        // after this point is a genuine oracle violation, not noise.
+        let base_budget = (opts.max_configs / 4).max(1);
+        let base_nonempty = match base_outcome(&base, base_budget) {
+            Ok("nonempty") => true,
+            Ok("empty") => false,
+            Ok(_) => {
+                summary.skipped += 1;
+                continue;
+            }
+            Err(reason) => {
+                failures.push(FuzzFailure {
+                    class: kind,
+                    iteration: i,
+                    reason: format!("base scenario rejected: {reason}"),
+                    repro_path: None,
+                });
+                continue;
+            }
+        };
+
+        let want_breaking = i % 2 == 1;
+        let mut rng = dds_gen::FuzzRng::for_case(opts.seed ^ 0xE9F1u64, class_idx as u64, i);
+        let mutation = if want_breaking {
+            Mutation::propose_breaking(base_nonempty)
+        } else {
+            propose_applicable_preserving(&mut rng, &base)
+        };
+        if mutation.apply(&base).is_none() {
+            summary.skipped += 1;
+            continue;
+        }
+        if mutation.preserving() {
+            summary.preserving += 1;
+        } else {
+            summary.breaking += 1;
+        }
+
+        match equiv_oracle(&base, mutation, opts) {
+            Ok(verdict) => {
+                *summary.outcomes.entry(verdict).or_insert(0) += 1;
+            }
+            Err(reason) => {
+                let minimized = dds_gen::shrink::minimize(base, &mut |cand| {
+                    mutation.apply(cand).is_some() && equiv_oracle(cand, mutation, opts).is_err()
+                });
+                let reason = format!("mutation {}: {reason}", mutation.label());
+                let repro_path = write_equiv_repro(opts, kind, i, &minimized, mutation, &reason)
+                    .ok()
+                    .flatten();
+                failures.push(FuzzFailure {
+                    class: kind,
+                    iteration: i,
+                    reason,
+                    repro_path,
+                });
+            }
+        }
+    }
+    Ok(FuzzReport {
+        options: opts.clone(),
+        classes: summaries,
+        failures,
+    })
+}
+
+/// Proposes a preserving mutation that applies to this base, falling back
+/// to rule duplication (applicable to every generated scenario) after a
+/// few draws — keeps the mutation mix diverse without ever skipping.
+fn propose_applicable_preserving(rng: &mut dds_gen::FuzzRng, base: &Scenario) -> Mutation {
+    for _ in 0..8 {
+        let m = Mutation::propose_preserving(rng);
+        if m.apply(base).is_some() {
+            return m;
+        }
+    }
+    Mutation::DuplicateRule { rule: 0 }
+}
+
+/// Decides the base scenario's own reach outcome (sequentially, through
+/// the same render → load path the equiv pair uses).
+fn base_outcome(sc: &Scenario, max_configs: usize) -> Result<&'static str, String> {
+    let lowered = crate::load_spec(&sc.render())
+        .map_err(|e: SpecError| format!("rendered base does not load: {e}"))?;
+    let property = lowered
+        .properties
+        .first()
+        .ok_or("rendered base has no properties")?;
+    let Task::Reach(system) = &property.task else {
+        return Err(format!("base property is not reach: {:?}", property.task));
+    };
+    let eo = EngineOptions::default().max_configs(max_configs);
+    Ok(lowered_engine_kind(&lowered.class, system, eo).0)
+}
+
+/// The mutation-label oracle for one pair. `Ok` carries the verdict;
+/// `Err` describes the disagreement (wrong verdict, wrong witness side,
+/// missing witness, or a thread-determinism drift between the parallel and
+/// sequential equiv runs).
+fn equiv_oracle(base: &Scenario, mutation: Mutation, opts: &FuzzOptions) -> Result<String, String> {
+    let mutant = mutation
+        .apply(base)
+        .ok_or("mutation no longer applicable")?;
+    let a_text = base.render();
+    let b_text = mutant.render();
+    let label_b = format!("<mutant:{}>", mutation.label());
+    let request = |threads: usize| {
+        EquivRequest::new(&a_text, &b_text)
+            .labels("<base>", &label_b)
+            .options(RunOptions {
+                threads,
+                max_configs: opts.max_configs,
+                ..RunOptions::default()
+            })
+    };
+    let report = request(opts.threads)
+        .run()
+        .map_err(|e| format!("equiv rejected the pair: {e}"))?;
+    let sequential = request(1)
+        .run()
+        .map_err(|e| format!("sequential equiv rejected the pair: {e}"))?;
+    if crate::render::equiv_text(&report, false) != crate::render::equiv_text(&sequential, false)
+        || report.fingerprint != sequential.fingerprint
+    {
+        return Err(format!(
+            "thread-determinism drift: {} threads vs 1 disagree:\n{}\nvs\n{}",
+            opts.threads,
+            crate::render::equiv_text(&report, false),
+            crate::render::equiv_text(&sequential, false),
+        ));
+    }
+    let verdict = report.verdict();
+    if mutation.preserving() {
+        if verdict != "equivalent" {
+            return Err(format!(
+                "preserving mutation got verdict `{verdict}`:\n{}",
+                crate::render::equiv_text(&report, false)
+            ));
+        }
+    } else {
+        if verdict != "divergent" {
+            return Err(format!(
+                "breaking mutation got verdict `{verdict}`:\n{}",
+                crate::render::equiv_text(&report, false)
+            ));
+        }
+        let div = report
+            .first_divergence()
+            .ok_or("divergent verdict without a divergent pair")?;
+        // Severing breaks the mutant, so the base still reaches (side a);
+        // bridging adds reachability to the mutant (side b).
+        let expect_side = match mutation {
+            Mutation::SeverAccept => "a",
+            _ => "b",
+        };
+        if div.witness_side.as_deref() != Some(expect_side) {
+            return Err(format!(
+                "witness on side {:?}, expected side `{expect_side}`",
+                div.witness_side
+            ));
+        }
+        if div.trace.is_none() {
+            return Err("divergence reported without a witness trace".into());
+        }
+    }
+    Ok(verdict.to_owned())
+}
+
+/// Writes the minimized `-a.dds`/`-b.dds` pair; returns the `-a` path.
+fn write_equiv_repro(
+    opts: &FuzzOptions,
+    class: ClassKind,
+    iteration: u64,
+    minimized: &Scenario,
+    mutation: Mutation,
+    reason: &str,
+) -> std::io::Result<Option<PathBuf>> {
+    let Some(mutant) = mutation.apply(minimized) else {
+        return Ok(None);
+    };
+    std::fs::create_dir_all(&opts.out_dir)?;
+    let stem = format!(
+        "fuzz-repro-equiv-{}-s{}-i{iteration}",
+        class.keyword(),
+        opts.seed
+    );
+    let path_a = opts.out_dir.join(format!("{stem}-a.dds"));
+    let path_b = opts.out_dir.join(format!("{stem}-b.dds"));
+    let header = |side: &str, role: &str| {
+        format!(
+            "# dds fuzz equiv repro (side {side}, {role}): seed {} class {} iter {iteration} mutation {}\n# reason: {}\n",
+            opts.seed,
+            class.keyword(),
+            mutation.label(),
+            reason.replace('\n', " / "),
+        )
+    };
+    std::fs::write(
+        &path_a,
+        format!("{}{}", header("a", "base"), minimized.render()),
+    )?;
+    std::fs::write(
+        &path_b,
+        format!("{}{}", header("b", "mutant"), mutant.render()),
+    )?;
+    Ok(Some(path_a))
 }
 
 /// What one passing iteration established.
@@ -411,25 +711,56 @@ pub fn corpus_contents(
 pub fn render_report(report: &FuzzReport) -> String {
     let o = &report.options;
     let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "== dds fuzz: seed {}, {} iters/class, max-size {}, threads 1v{}, max-configs {}",
-        o.seed, o.iters, o.max_size, o.threads, o.max_configs
-    );
+    match o.mode {
+        FuzzMode::Diff => {
+            let _ = writeln!(
+                out,
+                "== dds fuzz: seed {}, {} iters/class, max-size {}, threads 1v{}, max-configs {}",
+                o.seed, o.iters, o.max_size, o.threads, o.max_configs
+            );
+        }
+        FuzzMode::Equiv => {
+            let _ = writeln!(
+                out,
+                "== dds fuzz (mode equiv): seed {}, {} pair iterations, max-size {}, threads 1v{}, max-configs {}",
+                o.seed, o.iters, o.max_size, o.threads, o.max_configs
+            );
+        }
+    }
     for (kind, s) in &report.classes {
         let outcomes: Vec<String> = s.outcomes.iter().map(|(k, v)| format!("{k} {v}")).collect();
-        let _ = writeln!(
-            out,
-            "class {:<12} : {} iters | {} | baseline {}/{} certified {} roundtrip {}/{}",
-            kind.keyword(),
-            s.iters,
-            outcomes.join(", "),
-            s.baseline,
-            s.iters,
-            s.certified,
-            s.roundtrip,
-            s.iters,
-        );
+        match o.mode {
+            FuzzMode::Diff => {
+                let _ = writeln!(
+                    out,
+                    "class {:<12} : {} iters | {} | baseline {}/{} certified {} roundtrip {}/{}",
+                    kind.keyword(),
+                    s.iters,
+                    outcomes.join(", "),
+                    s.baseline,
+                    s.iters,
+                    s.certified,
+                    s.roundtrip,
+                    s.iters,
+                );
+            }
+            FuzzMode::Equiv => {
+                let _ = writeln!(
+                    out,
+                    "class {:<12} : {} pairs | {} | preserving {} breaking {} skipped {}",
+                    kind.keyword(),
+                    s.iters,
+                    if outcomes.is_empty() {
+                        "-".to_owned()
+                    } else {
+                        outcomes.join(", ")
+                    },
+                    s.preserving,
+                    s.breaking,
+                    s.skipped,
+                );
+            }
+        }
     }
     for f in &report.failures {
         let _ = writeln!(
@@ -462,11 +793,15 @@ pub fn render_report(report: &FuzzReport) -> String {
 /// failure. Deterministic: `wall_ns` is always 0 here (fuzz timing is
 /// seed-independent noise, and the golden suite pins these bytes).
 pub fn json_report(report: &FuzzReport) -> String {
+    let prefix = match report.options.mode {
+        FuzzMode::Diff => "fuzz",
+        FuzzMode::Equiv => "equiv-fuzz",
+    };
     let mut records = Vec::new();
     for (kind, s) in &report.classes {
         let failed = report.failures.iter().any(|f| f.class == *kind);
         records.push(crate::render::record(
-            &format!("fuzz::{}", kind.keyword()),
+            &format!("{prefix}::{}", kind.keyword()),
             0,
             s.iters,
             if failed { "fail" } else { "pass" },
@@ -474,7 +809,7 @@ pub fn json_report(report: &FuzzReport) -> String {
     }
     for f in &report.failures {
         records.push(crate::render::record(
-            &format!("fuzz::{}::iter{}", f.class.keyword(), f.iteration),
+            &format!("{prefix}::{}::iter{}", f.class.keyword(), f.iteration),
             0,
             0,
             &format!("fail: {}", f.reason.lines().next().unwrap_or("")),
@@ -525,6 +860,56 @@ mod tests {
                 .unwrap_or_else(|e| panic!("{kind:?}: {e}\n{}", sc.render()));
             round_trip(&sc, &built, &diff, &diff_opts)
                 .unwrap_or_else(|e| panic!("{kind:?}: {e}\n{}", sc.render()));
+        }
+    }
+
+    #[test]
+    fn equiv_mode_upholds_the_mutation_oracle() {
+        let opts = FuzzOptions {
+            mode: FuzzMode::Equiv,
+            iters: 8,
+            max_size: 1,
+            classes: vec![ClassKind::Free, ClassKind::Equivalence, ClassKind::Words],
+            out_dir: std::env::temp_dir(),
+            ..FuzzOptions::default()
+        };
+        let a = run(&opts).unwrap();
+        assert!(a.passed(), "{}", render_report(&a));
+        // Both mutation polarities actually exercised.
+        let preserving: u64 = a.classes.iter().map(|(_, s)| s.preserving).sum();
+        let breaking: u64 = a.classes.iter().map(|(_, s)| s.breaking).sum();
+        assert!(preserving > 0, "no preserving pairs ran");
+        assert!(breaking > 0, "no breaking pairs ran");
+        let b = run(&opts).unwrap();
+        assert_eq!(
+            render_report(&a),
+            render_report(&b),
+            "same seed, same report"
+        );
+        assert!(json_report(&a).contains("\"id\":\"equiv-fuzz::free\""));
+    }
+
+    #[test]
+    fn equiv_oracle_flags_a_lying_label() {
+        // A breaking mutation hand-mislabeled by pairing it with a verdict
+        // expectation it cannot meet: sever the accept states of an empty
+        // base — the pair stays equivalent, so the breaking label must be
+        // rejected by the oracle.
+        let mut sc = generate_seeded(ClassKind::Free, 0xBAD, 0, 1);
+        // Make the base empty by severing it first.
+        if let Some(severed) = Mutation::SeverAccept.apply(&sc) {
+            sc = severed;
+        }
+        let opts = FuzzOptions {
+            mode: FuzzMode::Equiv,
+            ..FuzzOptions::default()
+        };
+        match equiv_oracle(&sc, Mutation::SeverAccept, &opts) {
+            Err(reason) => assert!(
+                reason.contains("breaking mutation got verdict `equivalent`"),
+                "unexpected reason: {reason}"
+            ),
+            Ok(v) => panic!("oracle accepted a lying label with verdict {v}"),
         }
     }
 

@@ -50,6 +50,7 @@ use std::fmt;
 
 pub mod api;
 pub mod ast;
+pub mod equiv;
 pub mod fuzz;
 pub mod json;
 pub mod lower;
@@ -60,6 +61,7 @@ pub mod serve;
 
 pub use api::{RunError, VerifyReport, VerifyRequest};
 pub use ast::Spec;
+pub use equiv::{EquivError, EquivReport, EquivRequest, PairReport};
 pub use lower::{lower, AnyClass, Lowered, LoweredProperty, Task};
 pub use parse::parse_spec;
 pub use runner::{run_spec, PropertyReport, RunOptions, SpecReport};

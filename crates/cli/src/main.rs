@@ -3,6 +3,7 @@
 //! ```text
 //! dds verify [OPTIONS] FILE...   parse, lower and verify .dds specifications
 //! dds check FILE...              parse and lower only (spec linting)
+//! dds equiv [OPTIONS] A B        decide outcome equivalence of two specs
 //! dds fuzz [FUZZ-OPTIONS]        differential fuzzing across all classes
 //! dds serve [SERVE-OPTIONS]      long-running HTTP verification daemon
 //!
@@ -17,16 +18,17 @@
 //!   --timings         include wall-clock timings in text output
 //! ```
 //!
-//! `dds fuzz --help` documents the fuzzing options.
+//! `dds fuzz --help` and `dds equiv --help` document their options.
 //!
-//! Exit codes: `0` all properties pass, `1` a property failed (expectation
-//! mismatch, budget exhausted without a decision, or a fuzz iteration
-//! found a disagreement), `2` a spec failed to parse/lower or an I/O error
-//! occurred.
+//! Exit codes: `0` all properties pass (for `equiv`: the specs are
+//! equivalent), `1` a property failed (expectation mismatch, budget
+//! exhausted without a decision, a fuzz iteration found a disagreement, or
+//! an equivalence check diverged), `2` a spec failed to parse/lower, the
+//! specs are not comparable, or an I/O error occurred.
 
-use dds_cli::fuzz::{self, FuzzOptions};
+use dds_cli::fuzz::{self, FuzzMode, FuzzOptions};
 use dds_cli::serve::{ServeOptions, Server};
-use dds_cli::{render, RunError, RunOptions, VerifyRequest};
+use dds_cli::{render, EquivRequest, RunError, RunOptions, VerifyRequest};
 use dds_gen::ClassKind;
 use std::process::ExitCode;
 
@@ -41,8 +43,41 @@ struct Args {
 
 const USAGE: &str = "usage: dds <verify|check> [--json] [--out PATH] [--threads N] \
                      [--chunk-size N] [--max-configs N] [--no-certify] [--timings] FILE...\n\
+                     \x20      dds equiv [EQUIV-OPTIONS] A B  (see `dds equiv --help`)\n\
                      \x20      dds fuzz [FUZZ-OPTIONS]    (see `dds fuzz --help`)\n\
                      \x20      dds serve [SERVE-OPTIONS]  (see `dds serve --help`)";
+
+const EQUIV_USAGE: &str = "\
+usage: dds equiv [--json] [--out PATH] [--bisim] [--up-to N] [--threads N]
+                 [--chunk-size N] [--no-certify] [--timings] A.dds B.dds
+
+Decides whether two .dds specs over the same schema and class reach the
+same outcomes: both systems are joined into one product system (disjoint
+control states, shared data domain) and the interned frontier engine
+explores it once per paired `reach` property, deciding both sides'
+accepting sets in the same search. A divergence is reported with a
+replayable witness naming which spec it belongs to — the safe-migration
+check: refactor a spec, prove the refactoring equivalent.
+
+The specs must be comparable: same schema (symbols in declaration order),
+same class declaration, same register count, same property names, and
+`reach` properties only; anything else is a structured error (exit 2).
+`expect` stamps are ignored — outcomes are compared against each other.
+
+OPTIONS
+  --up-to N       exploration budget for the joint search (alias of
+                  --max-configs; default 1000000). If the budget is hit the
+                  verdict is `resource-limit`: equivalent up to the bound
+  --bisim         stepwise mode: after every BFS layer the cumulative
+                  accepting-configuration sets of the two sides must agree
+                  (stricter than outcome equivalence; implies it)
+  --json          emit the versioned JSON document (kind \"equiv\")
+  --out PATH      also write the rendered output to PATH
+  --threads N, --chunk-size N, --max-configs N, --no-certify, --timings
+                  as in `dds verify`
+
+Exit codes: 0 equivalent, 1 divergent or undecided at the bound, 2 the
+specs failed to load or are not comparable.";
 
 const SERVE_USAGE: &str = "\
 usage: dds serve [--addr HOST:PORT] [--workers N] [--timeout-ms N]
@@ -70,13 +105,14 @@ OPTIONS
                          overrides per field)";
 
 const FUZZ_USAGE: &str = "\
-usage: dds fuzz [--seed N] [--iters N] [--class LIST] [--max-size N]
-                [--threads N] [--max-configs N] [--out DIR] [--emit-corpus DIR]
-                [--json]
+usage: dds fuzz [--mode diff|equiv] [--seed N] [--iters N] [--class LIST]
+                [--max-size N] [--threads N] [--max-configs N] [--out DIR]
+                [--emit-corpus DIR] [--json]
 
-Differential fuzzing: generates seeded random systems across the eight
-structure classes (free, hom, equivalence, linear-order, words, trees,
-data, counter), renders each as a .dds spec, and checks
+Differential fuzzing (--mode diff, the default): generates seeded random
+systems across the eight structure classes (free, hom, equivalence,
+linear-order, words, trees, data, counter), renders each as a .dds spec,
+and checks
 
   * round-trip     render -> parse -> lower reproduces the built system
                    rule-for-rule with identical engine behavior,
@@ -85,24 +121,37 @@ data, counter), renders each as a .dds spec, and checks
   * baselines      bounded brute-force oracles never contradict the
                    engine; certified witnesses replay and are members.
 
+Equivalence fuzzing (--mode equiv): each iteration mutates a generated
+base spec with a rewrite whose effect is known by construction
+(equivalence-preserving: rule reorder, guard tautology, rule/state
+duplication, register rename; equivalence-breaking: severing or bridging
+the accepting states), runs `dds equiv` on the pair at 1 and N threads,
+and requires the verdict to match the label — preserving pairs must be
+`equivalent`, breaking pairs `divergent` with the witness on the side that
+still reaches. `--iters` counts total pairs, round-robin over the classes
+(counter machines are skipped: equiv has no reachability product there).
+
 Runs are deterministic: the same --seed produces the same report. On
 failure the scenario is shrunk and written to --out as a minimized .dds
-repro; the exit code is 1.
+repro (a `-a.dds`/`-b.dds` pair in equiv mode); the exit code is 1.
 
 OPTIONS
+  --mode diff|equiv campaign to run (default diff)
   --seed N          base seed (default 3541)
-  --iters N         iterations per class (default 4)
+  --iters N         iterations per class (diff) or total pairs (equiv;
+                    default 4)
   --class LIST      comma-separated class subset (default: all eight)
   --max-size N      generation size knob, 1..=3 (default 2)
   --threads N       worker count of the parallel engine leg (default 2;
-                    values below 2 are raised to 2 — the four-way check
-                    always compares against the sequential leg)
+                    values below 2 are raised to 2 — both modes compare
+                    against a sequential leg)
   --max-configs N   engine exploration budget per leg (default 100000)
   --out DIR         directory for minimized repros (default .)
-  --emit-corpus DIR write every passing spec (outcome stamped as `expect`)
+  --emit-corpus DIR write every passing spec (outcome stamped as `expect`;
+                    diff mode only)
   --json            emit the versioned JSON report document instead of text
   --inject-failure CLASS:ITER
-                    test hook: force one iteration to fail";
+                    test hook: force one iteration to fail (diff mode)";
 
 fn parse_fuzz_args(argv: &[String]) -> Result<FuzzOptions, String> {
     let mut opts = FuzzOptions::default();
@@ -118,6 +167,11 @@ fn parse_fuzz_args(argv: &[String]) -> Result<FuzzOptions, String> {
     };
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--mode" => {
+                let word = value("--mode", it.next())?;
+                opts.mode = FuzzMode::parse(&word)
+                    .ok_or_else(|| format!("unknown fuzz mode `{word}`\n{FUZZ_USAGE}"))?;
+            }
             "--seed" => opts.seed = numeric("--seed", it.next())?,
             "--iters" => opts.iters = numeric("--iters", it.next())?,
             "--max-size" => opts.max_size = numeric("--max-size", it.next())? as usize,
@@ -187,6 +241,101 @@ fn run_fuzz(argv: &[String]) -> ExitCode {
     if report.passed() {
         ExitCode::SUCCESS
     } else {
+        ExitCode::from(1)
+    }
+}
+
+struct EquivArgs {
+    files: Vec<String>,
+    json: bool,
+    out: Option<String>,
+    timings: bool,
+    bisim: bool,
+    options: RunOptions,
+}
+
+fn parse_equiv_args(argv: &[String]) -> Result<EquivArgs, String> {
+    let mut args = EquivArgs {
+        files: Vec::new(),
+        json: false,
+        out: None,
+        timings: false,
+        bisim: false,
+        options: RunOptions::default(),
+    };
+    let mut it = argv.iter();
+    let numeric = |flag: &str, value: Option<&String>| -> Result<usize, String> {
+        value
+            .ok_or_else(|| format!("{flag} needs a value\n{EQUIV_USAGE}"))?
+            .parse()
+            .map_err(|_| format!("{flag} needs a number\n{EQUIV_USAGE}"))
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => args.json = true,
+            "--timings" => args.timings = true,
+            "--bisim" => args.bisim = true,
+            "--no-certify" => args.options.concretize = false,
+            "--out" => args.out = Some(it.next().ok_or("--out needs a PATH")?.clone()),
+            "--threads" => args.options.threads = numeric("--threads", it.next())?,
+            "--chunk-size" => args.options.chunk_size = numeric("--chunk-size", it.next())?,
+            "--max-configs" => args.options.max_configs = numeric("--max-configs", it.next())?,
+            "--up-to" => args.options.max_configs = numeric("--up-to", it.next())?,
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown equiv flag `{flag}`\n{EQUIV_USAGE}"))
+            }
+            file => args.files.push(file.to_owned()),
+        }
+    }
+    if args.files.len() != 2 {
+        return Err(format!(
+            "equiv needs exactly two spec files, got {}\n{EQUIV_USAGE}",
+            args.files.len()
+        ));
+    }
+    Ok(args)
+}
+
+fn run_equiv(argv: &[String]) -> ExitCode {
+    if argv.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{EQUIV_USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let args = match parse_equiv_args(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = EquivRequest::from_files(&args.files[0], &args.files[1])
+        .and_then(|req| req.options(args.options).bisim(args.bisim).run());
+    let report = match report {
+        Ok(r) => r,
+        Err(e) => {
+            if args.json {
+                print!("{}", render::error_json(e.code(), &e.to_string(), e.line()));
+            }
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let rendered = if args.json {
+        render::equiv_json(&report)
+    } else {
+        render::equiv_text(&report, args.timings)
+    };
+    print!("{rendered}");
+    if let Some(out) = &args.out {
+        if let Err(e) = std::fs::write(out, &rendered) {
+            eprintln!("{out}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    if report.equivalent() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("NOT EQUIVALENT: {}", report.verdict());
         ExitCode::from(1)
     }
 }
@@ -298,6 +447,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match argv.first().map(String::as_str) {
+        Some("equiv") => return run_equiv(&argv[1..]),
         Some("fuzz") => return run_fuzz(&argv[1..]),
         Some("serve") => return run_serve(&argv[1..]),
         Some("help" | "--help" | "-h") => {

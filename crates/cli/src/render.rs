@@ -21,6 +21,7 @@
 //! the record shape stays identical, so downstream consumers parse one
 //! format. [`document`] is the shared assembler.
 
+use crate::equiv::EquivReport;
 use crate::runner::SpecReport;
 use std::fmt::Write as _;
 
@@ -126,6 +127,96 @@ pub fn json(reports: &[SpecReport]) -> String {
         .map(|p| record(&p.id, p.wall_ns, p.configs_explored, &p.outcome))
         .collect();
     document("verify", &records)
+}
+
+/// Renders an equivalence report as text.
+///
+/// Same contract as [`text`]: everything except the `timings`-gated
+/// wall-clock lines is deterministic, so the golden suite pins the
+/// `timings = false` form.
+pub fn equiv_text(report: &EquivReport, timings: bool) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== equiv: {} vs {} (system {} ~ {}, class {}{})",
+        report.label_a,
+        report.label_b,
+        report.system_a,
+        report.system_b,
+        report.class,
+        if report.bisim { ", stepwise" } else { "" },
+    );
+    for p in &report.pairs {
+        let _ = writeln!(
+            out,
+            "property {}: a={} b={} -> {}",
+            p.name, p.a_outcome, p.b_outcome, p.verdict
+        );
+        if let Some(s) = &p.stats {
+            let _ = writeln!(
+                out,
+                "  stats: explored={} unique={} transitions={} cache_hits={} dedup={}/{} levels={} initial={}",
+                s.configs_explored,
+                s.unique_configs,
+                s.transitions_computed,
+                s.transition_cache_hits,
+                s.dedup_hits,
+                s.dedup_probes,
+                s.levels,
+                s.initial_configs,
+            );
+        }
+        if let Some(d) = &p.detail {
+            let _ = writeln!(out, "  note: {d}");
+        }
+        if let (Some(side), Some(t)) = (&p.witness_side, &p.trace) {
+            let _ = writeln!(out, "  witness (spec {side}): {t}");
+        }
+        if let Some(db) = &p.witness_db {
+            let _ = writeln!(out, "  witness database: {db}");
+        }
+        if let Some(run) = &p.witness_run {
+            let _ = writeln!(out, "  witness run: {run}");
+        }
+        if timings {
+            let _ = writeln!(out, "  wall_ns: {}", p.wall_ns);
+        }
+    }
+    let _ = writeln!(out, "verdict: {}", report.verdict());
+    out
+}
+
+/// Renders an equivalence report as a versioned JSON document
+/// (`kind: "equiv"`): one record per property pair in the shared record
+/// shape extended with `a_outcome`, `b_outcome` and (when divergent)
+/// `witness_side`, plus a trailing `::verdict` summary record.
+pub fn equiv_json(report: &EquivReport) -> String {
+    let prefix = format!("{}~{}", report.system_a, report.system_b);
+    let mut records = Vec::with_capacity(report.pairs.len() + 1);
+    for p in &report.pairs {
+        let side = match &p.witness_side {
+            Some(s) => format!(",\"witness_side\":\"{}\"", crate::json::escape(s)),
+            None => String::new(),
+        };
+        records.push(format!(
+            "{{\"id\":\"{}\",\"wall_ns\":{},\"configs_explored\":{},\"outcome\":\"{}\",\"a_outcome\":\"{}\",\"b_outcome\":\"{}\"{side}}}",
+            crate::json::escape(&format!("{prefix}::{}", p.name)),
+            p.wall_ns,
+            p.configs_explored,
+            crate::json::escape(&p.verdict),
+            crate::json::escape(&p.a_outcome),
+            crate::json::escape(&p.b_outcome),
+        ));
+    }
+    let total_wall: u128 = report.pairs.iter().map(|p| p.wall_ns).sum();
+    let total_configs: u64 = report.pairs.iter().map(|p| p.configs_explored).sum();
+    records.push(record(
+        &format!("{prefix}::verdict"),
+        total_wall,
+        total_configs,
+        report.verdict(),
+    ));
+    document("equiv", &records)
 }
 
 /// Zeroes the `wall_ns` fields of a rendered JSON string — the normalization

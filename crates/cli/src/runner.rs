@@ -33,7 +33,7 @@ impl Default for RunOptions {
 }
 
 impl RunOptions {
-    fn engine_options(&self) -> EngineOptions {
+    pub(crate) fn engine_options(&self) -> EngineOptions {
         EngineOptions::default()
             .threads(self.threads)
             .chunk_size(self.chunk_size)

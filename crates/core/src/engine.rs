@@ -348,6 +348,54 @@ impl<Cfg> Outcome<Cfg> {
     }
 }
 
+/// Outcome of one target set in a multi-target search
+/// ([`Engine::run_multi`]).
+#[derive(Clone, Debug, PartialEq)]
+pub enum TargetStatus<Cfg> {
+    /// Some state of the target set was reached; the trace (and, with
+    /// concretization on, a certified witness) leads to the *first* node
+    /// of the target set in BFS order — the same node a single-target
+    /// search restricted to this target would have accepted on.
+    Reached {
+        /// The abstract sequence of small configurations found.
+        trace: Trace<Cfg>,
+        /// A concrete certified witness (database + run), when the class
+        /// supports concretization.
+        witness: Option<(Structure, Run)>,
+    },
+    /// The search space was exhausted without reaching the target set.
+    Unreachable,
+    /// The exploration budget ran out before this target was decided.
+    Undecided,
+}
+
+impl<Cfg> TargetStatus<Cfg> {
+    /// The outcome keyword the single-target [`Outcome`] would carry:
+    /// `nonempty`, `empty` or `resource-limit`.
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            TargetStatus::Reached { .. } => "nonempty",
+            TargetStatus::Unreachable => "empty",
+            TargetStatus::Undecided => "resource-limit",
+        }
+    }
+
+    /// True for [`TargetStatus::Reached`].
+    pub fn is_reached(&self) -> bool {
+        matches!(self, TargetStatus::Reached { .. })
+    }
+}
+
+/// Result of a multi-target search ([`Engine::run_multi`]): one status per
+/// requested target set plus the shared search statistics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MultiOutcome<Cfg> {
+    /// One status per target set, in request order.
+    pub targets: Vec<TargetStatus<Cfg>>,
+    /// Statistics of the single shared search.
+    pub stats: EngineStats,
+}
+
 /// The emptiness engine for a class and a system.
 pub struct Engine<'a, C: SymbolicClass> {
     class: &'a C,
@@ -804,7 +852,18 @@ impl<'a, C: SymbolicClass> Engine<'a, C> {
     fn accept(&self, idx: usize, s: &Search<C::Config>) -> Outcome<C::Config> {
         let mut stats = s.stats;
         stats.unique_configs = s.interner.len();
-        // Rebuild the trace root-to-accepting.
+        let trace = self.trace_to(idx, s);
+        let (witness, certify_ns) = self.certify_witness(&trace);
+        stats.certify_ns = certify_ns;
+        Outcome::NonEmpty {
+            trace,
+            witness,
+            stats,
+        }
+    }
+
+    /// Rebuilds the root-to-`idx` trace from the arena's parent chain.
+    fn trace_to(&self, idx: usize, s: &Search<C::Config>) -> Trace<C::Config> {
         let mut steps = Vec::new();
         let mut cur = idx;
         loop {
@@ -820,32 +879,310 @@ impl<'a, C: SymbolicClass> Engine<'a, C> {
             }
         }
         steps.reverse();
-        let trace = Trace { steps };
+        Trace { steps }
+    }
 
-        let witness = if self.options.concretize {
-            let t0 = Instant::now();
-            let w = self.class.concretize(&self.compiled, &trace);
-            if let Some((db, run)) = &w {
-                // Certify against the reference semantics — both the
-                // compiled system and (projected) the original one.
-                self.compiled
-                    .check_run(db, run, true)
-                    .expect("engine produced a witness the model checker rejects");
-                let projected = run.project_registers(self.original.num_registers());
-                self.original
-                    .check_run(db, &projected, true)
-                    .expect("witness fails against the original system");
-            }
-            stats.certify_ns = t0.elapsed().as_nanos() as u64;
-            w
+    /// Concretizes and certifies a trace when enabled, returning the witness
+    /// and the nanoseconds spent. The accepting-end requirement is checked
+    /// exactly when the trace in fact ends in an accepting state, so
+    /// multi-target traces to non-accepting targets still certify.
+    fn certify_witness(&self, trace: &Trace<C::Config>) -> (Option<(Structure, Run)>, u64) {
+        if !self.options.concretize {
+            return (None, 0);
+        }
+        let t0 = Instant::now();
+        let w = self.class.concretize(&self.compiled, trace);
+        if let Some((db, run)) = &w {
+            // Certify against the reference semantics — both the
+            // compiled system and (projected) the original one.
+            let accepting_end = trace
+                .steps
+                .last()
+                .is_some_and(|step| self.compiled.is_accepting(step.state));
+            self.compiled
+                .check_run(db, run, accepting_end)
+                .expect("engine produced a witness the model checker rejects");
+            let projected = run.project_registers(self.original.num_registers());
+            self.original
+                .check_run(db, &projected, accepting_end)
+                .expect("witness fails against the original system");
+        }
+        (w, t0.elapsed().as_nanos() as u64)
+    }
+
+    /// Decides reachability of up to 64 target state sets in one shared
+    /// search (the product-construction workhorse behind `dds equiv`).
+    ///
+    /// Unlike [`Engine::run`], the search does not stop at the system's
+    /// accepting states: a node whose state belongs to some still-undecided
+    /// target set records the first hit for every such set and is then
+    /// expanded like any other node, until every target is decided or the
+    /// frontier (or the budget) is exhausted. With a single target set equal
+    /// to the system's accepting states, the exploration prefix — and hence
+    /// every deterministic statistic up to the decision point — coincides
+    /// with [`Engine::run`]'s.
+    ///
+    /// The result is bit-identical across worker counts, exactly like
+    /// [`Engine::run`] (the parallel path only precomputes pure successor
+    /// sets; the merge replays the sequential order).
+    ///
+    /// # Panics
+    /// Panics when more than 64 target sets are requested or a target state
+    /// is out of range for the system.
+    pub fn run_multi(&self, targets: &[Vec<StateId>]) -> MultiOutcome<C::Config> {
+        assert!(
+            targets.len() <= 64,
+            "run_multi supports at most 64 target sets"
+        );
+        let t0 = Instant::now();
+        let (allocs0, reuses0) = crate::amalgam::scratch_counters();
+        let threads = self.effective_threads();
+        let mut outcome = if threads <= 1 {
+            self.multi_sequential(targets)
         } else {
-            None
+            self.multi_parallel(threads, targets)
         };
-        Outcome::NonEmpty {
-            trace,
-            witness,
+        let total = t0.elapsed().as_nanos() as u64;
+        let (allocs1, reuses1) = crate::amalgam::scratch_counters();
+        outcome.stats.search_ns = total.saturating_sub(outcome.stats.certify_ns);
+        outcome.stats.scratch_allocs = allocs1.saturating_sub(allocs0);
+        outcome.stats.scratch_reuses = reuses1.saturating_sub(reuses0);
+        outcome
+    }
+
+    /// `target_masks()[q]` has bit `t` set iff state `q` belongs to target
+    /// set `t`.
+    fn target_masks(&self, targets: &[Vec<StateId>]) -> Vec<u64> {
+        let mut masks = vec![0u64; self.compiled.num_states()];
+        for (t, set) in targets.iter().enumerate() {
+            for &q in set {
+                masks[q.index()] |= 1u64 << t;
+            }
+        }
+        masks
+    }
+
+    /// The `threads = 1` multi-target path; mirrors
+    /// [`Engine::run_sequential`]'s level/stats/budget ordering exactly.
+    fn multi_sequential(&self, targets: &[Vec<StateId>]) -> MultiOutcome<C::Config> {
+        let masks = self.target_masks(targets);
+        let mut undecided: u64 = mask_all(targets.len());
+        let mut first_hit: Vec<Option<usize>> = vec![None; targets.len()];
+        let mut s = self.init_search();
+        let mut compute = |interner: &Interner<C::Config>, cfg: ConfigId, rule_idx: usize| {
+            self.class
+                .transitions(interner.get(cfg), &self.compiled.rules()[rule_idx].guard)
+        };
+        let mut head = 0;
+        let mut level_end = 0;
+        let mut limited = false;
+        while undecided != 0 && head < s.arena.len() {
+            if head == level_end {
+                s.stats.levels += 1;
+                level_end = s.arena.len();
+            }
+            let idx = head;
+            head += 1;
+            s.stats.configs_explored += 1;
+            let hits = masks[s.arena[idx].state.index()] & undecided;
+            if hits != 0 {
+                record_hits(hits, idx, &mut first_hit);
+                undecided &= !hits;
+                if undecided == 0 {
+                    break;
+                }
+            }
+            if s.arena.len() > self.options.max_configs {
+                limited = true;
+                break;
+            }
+            self.merge_node(&mut s, idx, &mut compute);
+        }
+        self.finish_multi(&first_hit, limited, &s)
+    }
+
+    /// The `threads >= 2` multi-target path: same persistent pool as
+    /// [`Engine::run_parallel`], same deterministic merge as
+    /// [`Engine::multi_sequential`].
+    fn multi_parallel(&self, threads: usize, targets: &[Vec<StateId>]) -> MultiOutcome<C::Config> {
+        let gate: EpochGate<Epoch<C::Config>> = EpochGate::new();
+        let mut outcome = std::thread::scope(|scope| {
+            for worker in 1..threads {
+                let gate = &gate;
+                scope.spawn(move || {
+                    let mut seq = 0;
+                    while let Some((epoch, next)) = gate.next_epoch(seq) {
+                        seq = next;
+                        self.drain_epoch(&epoch, worker);
+                        gate.finish(epoch);
+                    }
+                });
+            }
+            let out = self.multi_parallel_search(&gate, threads, targets);
+            gate.shutdown();
+            out
+        });
+        outcome.stats.idle_ns += gate.idle_ns();
+        outcome
+    }
+
+    /// Level-synchronous multi-target coordinator loop. Identical epoch
+    /// publication to [`Engine::parallel_search`], except that the layer
+    /// speculates on *every* node: a target hit does not end the layer's
+    /// merge (the node is still expanded), so no node is deterministically
+    /// skipped short of full decision or the budget.
+    fn multi_parallel_search(
+        &self,
+        gate: &EpochGate<Epoch<C::Config>>,
+        threads: usize,
+        targets: &[Vec<StateId>],
+    ) -> MultiOutcome<C::Config> {
+        let masks = self.target_masks(targets);
+        let mut undecided: u64 = mask_all(targets.len());
+        let mut first_hit: Vec<Option<usize>> = vec![None; targets.len()];
+        let mut s = self.init_search();
+        let mut level_start = 0usize;
+        let mut limited = false;
+        'search: while undecided != 0 {
+            let level_end = s.arena.len();
+            if level_start == level_end {
+                break;
+            }
+            s.stats.levels += 1;
+
+            // Collect this layer's distinct uncached expansions, in order.
+            // Unlike the single-target layer loop there is no accepting
+            // cutoff: barring full decision or the budget, every node of the
+            // layer gets expanded by the merge below.
+            let mut task_of: HashMap<(u32, u32), usize> = HashMap::new();
+            let mut tasks: Vec<(ConfigId, usize)> = Vec::new();
+            for node in &s.arena[level_start..level_end] {
+                for &rule_idx in &self.rules_by_state[node.state.index()] {
+                    let key = (node.cfg.0, self.guard_class[rule_idx as usize]);
+                    if self.options.transition_cache && s.cache.contains_key(&key) {
+                        continue;
+                    }
+                    if let std::collections::hash_map::Entry::Vacant(e) = task_of.entry(key) {
+                        e.insert(tasks.len());
+                        tasks.push((node.cfg, rule_idx as usize));
+                    }
+                }
+            }
+
+            let mut results: Vec<OnceLock<Vec<C::Config>>> = std::iter::repeat_with(OnceLock::new)
+                .take(tasks.len())
+                .collect();
+            if tasks.len() > 1 {
+                let chunk = if self.options.chunk_size > 0 {
+                    self.options.chunk_size
+                } else {
+                    tasks.len().div_ceil(threads * CHUNKS_PER_WORKER)
+                }
+                .max(1);
+                let epoch = Arc::new(Epoch {
+                    interner: std::mem::take(&mut s.interner),
+                    queues: TaskQueues::split(tasks.len(), threads, chunk),
+                    results: std::mem::take(&mut results),
+                    tasks,
+                    busy_ns: AtomicU64::new(0),
+                });
+                gate.publish(Arc::clone(&epoch), threads - 1);
+                self.drain_epoch(&epoch, 0);
+                gate.wait_done();
+                let Ok(done) = Arc::try_unwrap(epoch) else {
+                    unreachable!("workers returned their epoch references at the done barrier")
+                };
+                s.interner = done.interner;
+                s.stats.expand_ns += done.busy_ns.load(Ordering::Relaxed);
+                s.stats.tasks_stolen += done.queues.stolen();
+                results = done.results;
+            }
+
+            // Deterministic merge: identical order to the sequential path.
+            let cache_on = self.options.transition_cache;
+            let mut compute = |interner: &Interner<C::Config>, cfg: ConfigId, rule_idx: usize| {
+                let key = (cfg.0, self.guard_class[rule_idx]);
+                let precomputed = match task_of.get(&key) {
+                    Some(&t) if cache_on => results[t].take(),
+                    Some(&t) => results[t].get().cloned(),
+                    None => None,
+                };
+                precomputed.unwrap_or_else(|| {
+                    self.class
+                        .transitions(interner.get(cfg), &self.compiled.rules()[rule_idx].guard)
+                })
+            };
+            for idx in level_start..level_end {
+                s.stats.configs_explored += 1;
+                let hits = masks[s.arena[idx].state.index()] & undecided;
+                if hits != 0 {
+                    record_hits(hits, idx, &mut first_hit);
+                    undecided &= !hits;
+                    if undecided == 0 {
+                        break 'search;
+                    }
+                }
+                if s.arena.len() > self.options.max_configs {
+                    limited = true;
+                    break 'search;
+                }
+                self.merge_node(&mut s, idx, &mut compute);
+            }
+            level_start = level_end;
+        }
+        self.finish_multi(&first_hit, limited, &s)
+    }
+
+    /// Converts recorded hits into per-target statuses: hit targets get a
+    /// trace (and certified witness) to their first-hit node; unhit targets
+    /// are `Unreachable` on exhaustion, `Undecided` on a budget stop.
+    fn finish_multi(
+        &self,
+        first_hit: &[Option<usize>],
+        limited: bool,
+        s: &Search<C::Config>,
+    ) -> MultiOutcome<C::Config> {
+        let mut stats = s.stats;
+        stats.unique_configs = s.interner.len();
+        let mut statuses = Vec::with_capacity(first_hit.len());
+        let mut certify_total = 0u64;
+        for hit in first_hit {
+            statuses.push(match hit {
+                Some(idx) => {
+                    let trace = self.trace_to(*idx, s);
+                    let (witness, certify_ns) = self.certify_witness(&trace);
+                    certify_total += certify_ns;
+                    TargetStatus::Reached { trace, witness }
+                }
+                None if limited => TargetStatus::Undecided,
+                None => TargetStatus::Unreachable,
+            });
+        }
+        stats.certify_ns = certify_total;
+        MultiOutcome {
+            targets: statuses,
             stats,
         }
+    }
+}
+
+/// A mask with the low `n` bits set (`n <= 64`).
+fn mask_all(n: usize) -> u64 {
+    if n == 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
+/// Records `idx` as the first hit for every target bit set in `hits`.
+fn record_hits(hits: u64, idx: usize, first_hit: &mut [Option<usize>]) {
+    let mut bits = hits;
+    while bits != 0 {
+        let t = bits.trailing_zeros() as usize;
+        bits &= bits - 1;
+        debug_assert!(first_hit[t].is_none());
+        first_hit[t] = Some(idx);
     }
 }
 

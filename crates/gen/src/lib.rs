@@ -31,6 +31,7 @@
 pub mod diff;
 pub mod generate;
 pub mod macro_gen;
+pub mod mutate;
 pub mod rng;
 pub mod scenario;
 pub mod shrink;
@@ -38,5 +39,6 @@ pub mod shrink;
 pub use diff::{check, DiffOptions, DiffReport};
 pub use generate::generate_seeded;
 pub use macro_gen::{macro_suite, MacroScenario};
+pub use mutate::Mutation;
 pub use rng::FuzzRng;
 pub use scenario::{Built, BuiltClass, ClassKind, DataValuesKind, Scenario, ScenarioClass};

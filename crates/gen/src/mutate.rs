@@ -1,0 +1,356 @@
+//! Scenario mutations with known equivalence labels — the oracle behind
+//! `dds fuzz --mode equiv`.
+//!
+//! Each [`Mutation`] rewrites a generated [`Scenario`] into a sibling whose
+//! relationship to the original is known **by construction**:
+//!
+//! * *preserving* mutations (rule rotation, guard tautologies, rule and
+//!   state duplication, register renaming) produce a system with exactly
+//!   the same reachable outcomes, so `dds equiv` must verdict
+//!   `equivalent`;
+//! * *breaking* mutations flip the reachability of the accepting states
+//!   (severing every entry into them, or bridging straight to them), so
+//!   `dds equiv` must verdict `divergent` — and the witness must replay on
+//!   the side that still reaches.
+//!
+//! Any disagreement between the verdict and the label is a bug in the
+//! product construction, the multi-target engine search, or the mutation
+//! itself — three independent implementations cross-checking each other.
+//!
+//! Mutation parameters are modular indices (`rule % rules.len()`), so a
+//! mutation stays applicable while the shrinker removes rules and states:
+//! minimization re-applies the *same* mutation value to ever-smaller base
+//! scenarios.
+
+use crate::rng::FuzzRng;
+use crate::scenario::Scenario;
+
+/// One labeled rewrite of a scenario.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mutation {
+    /// Preserving: rotate the rule list (rule order never affects the
+    /// reachable set).
+    RuleReorder {
+        /// Rotation amount (normalized modulo the rule count).
+        rotation: usize,
+    },
+    /// Preserving: conjoin a tautology (`r_old = r_old`) onto one guard.
+    GuardTautology {
+        /// Rule index (modular).
+        rule: usize,
+    },
+    /// Preserving: append an exact copy of one rule.
+    DuplicateRule {
+        /// Rule index (modular).
+        rule: usize,
+    },
+    /// Preserving: clone a control state (same init/accept markers) and
+    /// duplicate every incident rule onto the clone — a bisimilar split.
+    StateSplit {
+        /// State index (modular).
+        state: usize,
+    },
+    /// Preserving: rename one register everywhere (guards address
+    /// registers by name, outcomes only depend on positions).
+    RegisterRename {
+        /// Register index (modular).
+        register: usize,
+    },
+    /// Breaking (for a **nonempty** base): conjoin a contradiction onto
+    /// every rule entering an accepting state, making acceptance
+    /// unreachable.
+    SeverAccept,
+    /// Breaking (for an **empty** base): add an identity-guard rule from
+    /// an initial state straight to an accepting state.
+    BridgeAccept,
+}
+
+impl Mutation {
+    /// True when the mutation preserves reachable outcomes by
+    /// construction.
+    pub fn preserving(self) -> bool {
+        !matches!(self, Mutation::SeverAccept | Mutation::BridgeAccept)
+    }
+
+    /// Short label for reports and repro file names.
+    pub fn label(self) -> &'static str {
+        match self {
+            Mutation::RuleReorder { .. } => "rule-reorder",
+            Mutation::GuardTautology { .. } => "guard-tautology",
+            Mutation::DuplicateRule { .. } => "duplicate-rule",
+            Mutation::StateSplit { .. } => "state-split",
+            Mutation::RegisterRename { .. } => "register-rename",
+            Mutation::SeverAccept => "sever-accept",
+            Mutation::BridgeAccept => "bridge-accept",
+        }
+    }
+
+    /// Proposes a random preserving mutation; the parameter is drawn raw
+    /// and normalized modularly at application time.
+    pub fn propose_preserving(rng: &mut FuzzRng) -> Mutation {
+        let param = rng.next_u64() as usize;
+        match rng.below(5) {
+            0 => Mutation::RuleReorder { rotation: param },
+            1 => Mutation::GuardTautology { rule: param },
+            2 => Mutation::DuplicateRule { rule: param },
+            3 => Mutation::StateSplit { state: param },
+            _ => Mutation::RegisterRename { register: param },
+        }
+    }
+
+    /// The breaking mutation matching a base outcome: sever a reachable
+    /// accept, bridge an unreachable one.
+    pub fn propose_breaking(base_nonempty: bool) -> Mutation {
+        if base_nonempty {
+            Mutation::SeverAccept
+        } else {
+            Mutation::BridgeAccept
+        }
+    }
+
+    /// Applies the mutation, or `None` when it is not applicable to this
+    /// scenario (no rules to rotate, a name clash, an accepting initial
+    /// state for [`Mutation::SeverAccept`], ...).
+    pub fn apply(self, sc: &Scenario) -> Option<Scenario> {
+        let mut out = sc.clone();
+        match self {
+            Mutation::RuleReorder { rotation } => {
+                if sc.rules.len() < 2 {
+                    return None;
+                }
+                let by = 1 + rotation % (sc.rules.len() - 1);
+                out.rules.rotate_left(by);
+            }
+            Mutation::GuardTautology { rule } => {
+                if sc.rules.is_empty() || sc.registers.is_empty() {
+                    return None;
+                }
+                let i = rule % sc.rules.len();
+                let r = &sc.registers[0];
+                let atom = format!("{r}_old = {r}_old");
+                let guard = &mut out.rules[i].2;
+                if guard.is_empty() {
+                    *guard = atom;
+                } else {
+                    *guard = format!("{guard} & {atom}");
+                }
+            }
+            Mutation::DuplicateRule { rule } => {
+                if sc.rules.is_empty() {
+                    return None;
+                }
+                let i = rule % sc.rules.len();
+                out.rules.push(sc.rules[i].clone());
+            }
+            Mutation::StateSplit { state } => {
+                if sc.states.is_empty() {
+                    return None;
+                }
+                let i = state % sc.states.len();
+                let (name, initial) = sc.states[i].clone();
+                let split = format!("{name}__split");
+                if sc.states.iter().any(|(s, _)| *s == split) {
+                    return None;
+                }
+                out.states.push((split.clone(), initial));
+                if sc.accept.contains(&name) {
+                    out.accept.push(split.clone());
+                }
+                // Every incident rule gets a twin with this occurrence of
+                // the state replaced by the clone (both-endpoint rules get
+                // all three twins), so the clone is bisimilar to the
+                // original.
+                for (from, to, guard) in &sc.rules {
+                    let (f, t) = (*from == name, *to == name);
+                    if f {
+                        out.rules.push((split.clone(), to.clone(), guard.clone()));
+                    }
+                    if t {
+                        out.rules.push((from.clone(), split.clone(), guard.clone()));
+                    }
+                    if f && t {
+                        out.rules
+                            .push((split.clone(), split.clone(), guard.clone()));
+                    }
+                }
+            }
+            Mutation::RegisterRename { register } => {
+                if sc.registers.is_empty() {
+                    return None;
+                }
+                let i = register % sc.registers.len();
+                let old = sc.registers[i].clone();
+                let new = format!("{old}r");
+                if sc.registers.contains(&new) {
+                    return None;
+                }
+                out.registers[i] = new.clone();
+                for (_, _, guard) in &mut out.rules {
+                    let g = replace_token(guard, &format!("{old}_old"), &format!("{new}_old"));
+                    *guard = replace_token(&g, &format!("{old}_new"), &format!("{new}_new"));
+                }
+            }
+            Mutation::SeverAccept => {
+                if sc.registers.is_empty() || sc.rules.is_empty() {
+                    return None;
+                }
+                // An accepting initial state is nonempty with zero steps —
+                // severing rules cannot break that.
+                if sc
+                    .states
+                    .iter()
+                    .any(|(s, initial)| *initial && sc.accept.contains(s))
+                {
+                    return None;
+                }
+                let r = &sc.registers[0];
+                let contradiction = format!("{r}_old != {r}_old");
+                let mut severed = false;
+                for (_, to, guard) in &mut out.rules {
+                    if sc.accept.contains(to) {
+                        *guard = if guard.is_empty() {
+                            contradiction.clone()
+                        } else {
+                            format!("{guard} & {contradiction}")
+                        };
+                        severed = true;
+                    }
+                }
+                if !severed {
+                    return None;
+                }
+            }
+            Mutation::BridgeAccept => {
+                let initial = sc.states.iter().find(|(_, i)| *i)?.0.clone();
+                let accept = sc.accept.first()?.clone();
+                if sc.registers.is_empty() {
+                    return None;
+                }
+                // Identity guard: keeping every register value is satisfied
+                // by the trivial amalgam in every class, so the bridge is
+                // always traversable.
+                let guard = sc
+                    .registers
+                    .iter()
+                    .map(|r| format!("{r}_old = {r}_new"))
+                    .collect::<Vec<_>>()
+                    .join(" & ");
+                out.rules.push((initial, accept, guard));
+            }
+        }
+        Some(out)
+    }
+}
+
+/// Replaces whole-token occurrences of `old` (delimited by non-identifier
+/// characters) with `new` — register references in guards are identifier
+/// tokens, so plain substring replacement could corrupt a register whose
+/// name contains another's.
+fn replace_token(s: &str, old: &str, new: &str) -> String {
+    let ident = |c: char| c.is_ascii_alphanumeric() || c == '_';
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(at) = rest.find(old) {
+        let before_ok = !rest[..at].chars().next_back().is_some_and(ident);
+        let after_ok = !rest[at + old.len()..].chars().next().is_some_and(ident);
+        if before_ok && after_ok {
+            out.push_str(&rest[..at]);
+            out.push_str(new);
+        } else {
+            out.push_str(&rest[..at + old.len()]);
+        }
+        rest = &rest[at + old.len()..];
+    }
+    out.push_str(rest);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::generate_seeded;
+    use crate::scenario::ClassKind;
+
+    fn sample() -> Scenario {
+        generate_seeded(ClassKind::Free, 11, 0, 2)
+    }
+
+    #[test]
+    fn preserving_mutations_build_and_keep_shape() {
+        let sc = sample();
+        for (i, m) in [
+            Mutation::RuleReorder { rotation: 7 },
+            Mutation::GuardTautology { rule: 3 },
+            Mutation::DuplicateRule { rule: 5 },
+            Mutation::StateSplit { state: 2 },
+            Mutation::RegisterRename { register: 1 },
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            assert!(m.preserving());
+            let mutated = m
+                .apply(&sc)
+                .unwrap_or_else(|| panic!("mutation {i} inapplicable"));
+            mutated
+                .build()
+                .unwrap_or_else(|e| panic!("{}: mutant does not build: {e}", m.label()));
+            assert_ne!(mutated, sc, "{} must change the scenario", m.label());
+            assert_eq!(mutated.registers.len(), sc.registers.len());
+        }
+    }
+
+    #[test]
+    fn breaking_mutations_target_the_accept_states() {
+        let sc = sample();
+        let severed = Mutation::SeverAccept.apply(&sc).expect("applicable");
+        assert!(severed.build().is_ok());
+        for (_, to, guard) in &severed.rules {
+            if sc.accept.contains(to) {
+                assert!(guard.contains("!="), "entry rule into accept not severed");
+            }
+        }
+
+        let bridged = Mutation::BridgeAccept.apply(&sc).expect("applicable");
+        assert!(bridged.build().is_ok());
+        let (from, to, _) = bridged.rules.last().unwrap();
+        assert!(sc.states.iter().any(|(s, i)| s == from && *i));
+        assert!(sc.accept.contains(to));
+    }
+
+    #[test]
+    fn modular_parameters_survive_shrinking() {
+        let sc = sample();
+        let m = Mutation::DuplicateRule { rule: usize::MAX };
+        assert!(m.apply(&sc).is_some());
+        let mut tiny = sc;
+        tiny.rules.truncate(1);
+        assert!(m.apply(&tiny).is_some(), "modular index must still apply");
+    }
+
+    #[test]
+    fn register_rename_respects_token_boundaries() {
+        let mut sc = sample();
+        sc.registers = vec!["x".into(), "xx".into()];
+        sc.rules = vec![(
+            sc.states[0].0.clone(),
+            sc.states[1].0.clone(),
+            "x_old = x_new & xx_old = xx_new".into(),
+        )];
+        let renamed = Mutation::RegisterRename { register: 0 }.apply(&sc).unwrap();
+        assert_eq!(renamed.registers[0], "xr");
+        assert_eq!(renamed.rules[0].2, "xr_old = xr_new & xx_old = xx_new");
+    }
+
+    #[test]
+    fn proposals_are_deterministic() {
+        let mut a = FuzzRng::for_case(9, 1, 2);
+        let mut b = FuzzRng::for_case(9, 1, 2);
+        assert_eq!(
+            Mutation::propose_preserving(&mut a),
+            Mutation::propose_preserving(&mut b)
+        );
+        assert_eq!(Mutation::propose_breaking(true), Mutation::SeverAccept);
+        assert_eq!(Mutation::propose_breaking(false), Mutation::BridgeAccept);
+    }
+}

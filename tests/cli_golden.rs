@@ -3,8 +3,11 @@
 //! Every `specs/*.dds` file is lowered and run (sequentially, default
 //! options) and its rendered text and JSON outputs are diffed against the
 //! checked-in snapshots under `tests/golden/`; every `specs/errors/*.dds`
-//! file must fail to load with exactly the pinned diagnostic. JSON
-//! snapshots are normalized (`wall_ns` zeroed) so measurements never flap.
+//! file must fail to load with exactly the pinned diagnostic; every
+//! `specs/equiv/` pair is run through `dds equiv` and its text/JSON
+//! reports (or structured comparability errors) are pinned under
+//! `tests/golden/equiv/`. JSON snapshots are normalized (`wall_ns`
+//! zeroed) so measurements never flap.
 //!
 //! Refresh after an intentional change with:
 //!
@@ -12,7 +15,7 @@
 //! DDS_UPDATE_GOLDEN=1 cargo test --test cli_golden
 //! ```
 
-use dds_cli::{load_spec, render, run_spec, RunOptions};
+use dds_cli::{load_spec, render, run_spec, EquivRequest, RunOptions};
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -132,6 +135,57 @@ fn readme_quickstart_spec_verifies() {
     assert_eq!(report.properties[0].outcome, "nonempty");
 }
 
+/// The `specs/equiv/` pair stems (each `<stem>_a.dds`/`<stem>_b.dds` pair
+/// contributes one stem).
+fn equiv_pair_stems(root: &Path) -> Vec<String> {
+    let stems: Vec<String> = spec_files(&root.join("specs/equiv"))
+        .iter()
+        .filter_map(|p| {
+            p.file_stem()
+                .unwrap()
+                .to_str()
+                .unwrap()
+                .strip_suffix("_a")
+                .map(str::to_owned)
+        })
+        .collect();
+    assert!(!stems.is_empty(), "no pairs in specs/equiv");
+    stems
+}
+
+#[test]
+fn equiv_pair_corpus_matches_snapshots() {
+    let root = root();
+    for stem in equiv_pair_stems(&root) {
+        let path_a = format!("specs/equiv/{stem}_a.dds");
+        let path_b = format!("specs/equiv/{stem}_b.dds");
+        let (text, json) =
+            match EquivRequest::from_files(&path_a, &path_b).and_then(|req| req.run()) {
+                Ok(report) => (
+                    render::equiv_text(&report, false),
+                    render::normalize_wall_ns(&render::equiv_json(&report)),
+                ),
+                // Comparability errors are part of the pinned surface too:
+                // snapshot the CLI's diagnostic line and the structured
+                // error document `--json` would emit.
+                Err(e) => (
+                    format!("error[{}]: {e}\n", e.code()),
+                    render::error_json(e.code(), &e.to_string(), e.line()),
+                ),
+            };
+        compare(
+            &root.join("tests/golden/equiv").join(format!("{stem}.txt")),
+            &text,
+            &path_a,
+        );
+        compare(
+            &root.join("tests/golden/equiv").join(format!("{stem}.json")),
+            &json,
+            &path_a,
+        );
+    }
+}
+
 #[test]
 fn golden_directory_has_no_orphans() {
     // Renaming a spec must not leave stale snapshots behind silently.
@@ -162,6 +216,36 @@ fn golden_directory_has_no_orphans() {
         assert!(
             err_stems.iter().any(|s| s == stem),
             "orphaned golden file {} (no specs/errors/{stem}.dds)",
+            p.display()
+        );
+    }
+    let pair_stems = equiv_pair_stems(&root);
+    for entry in fs::read_dir(root.join("tests/golden/equiv")).unwrap() {
+        let p = entry.unwrap().path();
+        let stem = p.file_stem().unwrap().to_str().unwrap();
+        assert!(
+            pair_stems.iter().any(|s| s == stem),
+            "orphaned golden file {} (no specs/equiv/{stem}_a.dds pair)",
+            p.display()
+        );
+    }
+    // Every `_a` side must have its `_b` sibling (and nothing else may
+    // live in the pair corpus).
+    for p in spec_files(&root.join("specs/equiv")) {
+        let name = p.file_stem().unwrap().to_str().unwrap();
+        assert!(
+            name.ends_with("_a") || name.ends_with("_b"),
+            "{}: pair files must end in _a.dds or _b.dds",
+            p.display()
+        );
+        let sibling = if let Some(s) = name.strip_suffix("_a") {
+            format!("{s}_b")
+        } else {
+            format!("{}_a", name.strip_suffix("_b").unwrap())
+        };
+        assert!(
+            p.with_file_name(format!("{sibling}.dds")).is_file(),
+            "{}: missing pair sibling {sibling}.dds",
             p.display()
         );
     }

@@ -299,6 +299,86 @@ fn steal_and_scratch_counters_sane() {
     assert!(parallel.stats().tasks_stolen <= parallel.stats().configs_explored as u64 * 2);
 }
 
+/// One equiv run at a given worker count; the spec pair is inlined so the
+/// test pins engine behavior, not file contents.
+fn equiv_report(spec_a: &str, spec_b: &str, threads: usize, bisim: bool) -> dds_cli::EquivReport {
+    dds_cli::EquivRequest::new(spec_a, spec_b)
+        .options(dds_cli::RunOptions {
+            threads,
+            ..dds_cli::RunOptions::default()
+        })
+        .bisim(bisim)
+        .run()
+        .unwrap_or_else(|e| panic!("equiv at {threads} workers: {e}"))
+}
+
+const EQUIV_BASE: &str = "
+system odd_red_walk
+schema {
+  relation E/2
+  relation red/1
+}
+class free
+registers x y
+states {
+  start init
+  hop
+  end
+}
+rule start -> hop: x_old = x_new & E(y_old, y_new) & red(y_new)
+rule hop -> end: x_old = x_new & x_new = y_old & y_old = y_new
+property reach {
+  accept end
+}
+";
+
+/// `dds equiv` products run through the same engine; verdicts, witness
+/// sides, traces and explored counts must be bit-identical at 1/2/4/8
+/// workers — for an equivalent pair, a divergent pair (where the witness
+/// must stay on the same side), and the stepwise `--bisim` mode.
+#[test]
+fn equiv_verdicts_bit_identical_across_workers() {
+    let severed = EQUIV_BASE.replace(
+        "rule hop -> end: x_old = x_new",
+        "rule hop -> end: x_old != x_old & x_old = x_new",
+    );
+    assert_ne!(severed, EQUIV_BASE);
+    for (label, spec_b, bisim, verdict) in [
+        ("self", EQUIV_BASE.to_owned(), false, "equivalent"),
+        ("severed", severed.clone(), false, "divergent"),
+        ("bisim", EQUIV_BASE.to_owned(), true, "equivalent"),
+        ("bisim-severed", severed, true, "divergent"),
+    ] {
+        let sequential = equiv_report(EQUIV_BASE, &spec_b, 1, bisim);
+        assert_eq!(sequential.verdict(), verdict, "case {label}");
+        if verdict == "divergent" {
+            let pair = sequential.first_divergence().unwrap();
+            assert_eq!(pair.witness_side.as_deref(), Some("a"), "case {label}");
+            assert!(pair.trace.is_some(), "case {label}");
+        }
+        for threads in [2usize, 4, 8] {
+            let parallel = equiv_report(EQUIV_BASE, &spec_b, threads, bisim);
+            assert_eq!(
+                dds_cli::render::equiv_text(&sequential, false),
+                dds_cli::render::equiv_text(&parallel, false),
+                "case {label}: report drifted at {threads} workers"
+            );
+            assert_eq!(
+                sequential.fingerprint, parallel.fingerprint,
+                "case {label}: fingerprint drifted at {threads} workers"
+            );
+            for (s, p) in sequential.pairs.iter().zip(&parallel.pairs) {
+                assert_eq!(
+                    (s.configs_explored, &s.verdict, &s.witness_side, &s.trace),
+                    (p.configs_explored, &p.verdict, &p.witness_side, &p.trace),
+                    "case {label}: pair `{}` drifted at {threads} workers",
+                    s.name
+                );
+            }
+        }
+    }
+}
+
 /// The `threads = 0` auto setting must also agree (it resolves to whatever
 /// the host offers, including 1).
 #[test]

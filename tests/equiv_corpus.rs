@@ -1,0 +1,228 @@
+//! Corpus-wide guarantees for `dds equiv` (spec equivalence via the
+//! product construction).
+//!
+//! Three sweeps:
+//!
+//! 1. **Self-equivalence** — `equiv(A, A)` verdicts `equivalent` for every
+//!    reach spec in `specs/`, bit-identically at 1/2/4/8 workers (rendered
+//!    report, fingerprint, and per-pair `configs_explored` all equal); the
+//!    non-reach specs (`e2` elim, `e8` blowup, `e9` bounded-halt) are
+//!    refused with the structured `unsupported` error.
+//! 2. **One-rule-deleted mutants** — deleting single rules from the
+//!    non-empty E-specs must produce at least one `divergent` verdict per
+//!    spec, always with the witness on the intact side (spec a) and a
+//!    replayable trace; deletions from the empty `e10` can never make it
+//!    reach, so every mutant stays `equivalent`. No deletion may leave the
+//!    verdict undecided.
+//! 3. **Pinned pair corpus** — every `specs/equiv/` pair decides exactly
+//!    the verdict stamped in its `# equiv-expect:` header (including the
+//!    structured comparability errors), thread-stably.
+
+use dds_cli::render::equiv_text;
+use dds_cli::{EquivError, EquivReport, EquivRequest, RunOptions};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn spec_files(dir: &str) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = fs::read_dir(dir)
+        .unwrap_or_else(|e| panic!("reading {dir}: {e}"))
+        .map(|entry| entry.unwrap().path())
+        .filter(|p| p.is_file() && p.extension().is_some_and(|x| x == "dds"))
+        .collect();
+    files.sort();
+    files
+}
+
+fn run_pair(spec_a: &str, spec_b: &str, threads: usize) -> Result<EquivReport, EquivError> {
+    EquivRequest::new(spec_a, spec_b)
+        .options(RunOptions {
+            threads,
+            ..RunOptions::default()
+        })
+        .run()
+}
+
+/// Runs a pair at every worker count and asserts the rendered report,
+/// the fingerprint, and the per-pair explored counts are bit-identical;
+/// returns the sequential report.
+fn run_thread_stable(spec_a: &str, spec_b: &str, context: &str) -> EquivReport {
+    let sequential = run_pair(spec_a, spec_b, 1)
+        .unwrap_or_else(|e| panic!("{context}: sequential equiv failed: {e}"));
+    for threads in &THREADS[1..] {
+        let parallel = run_pair(spec_a, spec_b, *threads)
+            .unwrap_or_else(|e| panic!("{context}: equiv at {threads} workers failed: {e}"));
+        assert_eq!(
+            equiv_text(&sequential, false),
+            equiv_text(&parallel, false),
+            "{context}: report drifted at {threads} workers"
+        );
+        assert_eq!(
+            sequential.fingerprint, parallel.fingerprint,
+            "{context}: fingerprint drifted at {threads} workers"
+        );
+        for (s, p) in sequential.pairs.iter().zip(&parallel.pairs) {
+            assert_eq!(
+                s.configs_explored, p.configs_explored,
+                "{context}: configs_explored drifted for `{}` at {threads} workers",
+                s.name
+            );
+        }
+    }
+    sequential
+}
+
+#[test]
+fn every_spec_is_self_equivalent_thread_stably() {
+    let unsupported = ["e2", "e8", "e9"];
+    let mut checked = 0;
+    for path in spec_files("specs") {
+        let stem = path.file_stem().unwrap().to_str().unwrap().to_owned();
+        let src = fs::read_to_string(&path).unwrap();
+        if unsupported.contains(&stem.as_str()) {
+            match run_pair(&src, &src, 1) {
+                Err(EquivError::Unsupported { .. }) => {}
+                other => {
+                    panic!("{stem}: non-reach spec must be refused as unsupported, got {other:?}")
+                }
+            }
+            continue;
+        }
+        let report = run_thread_stable(&src, &src, &stem);
+        assert!(
+            report.equivalent(),
+            "{stem}: self-equivalence verdict was `{}`",
+            report.verdict()
+        );
+        checked += 1;
+    }
+    assert!(checked >= 19, "only {checked} specs swept — corpus moved?");
+}
+
+/// Deletes rule line `i` (0-based among rule lines) from a spec source.
+fn delete_rule(src: &str, i: usize) -> String {
+    let mut seen = 0;
+    let kept: Vec<&str> = src
+        .lines()
+        .filter(|line| {
+            if line.trim_start().starts_with("rule ") {
+                seen += 1;
+                seen - 1 != i
+            } else {
+                true
+            }
+        })
+        .collect();
+    kept.join("\n")
+}
+
+fn rule_count(src: &str) -> usize {
+    src.lines()
+        .filter(|l| l.trim_start().starts_with("rule "))
+        .count()
+}
+
+#[test]
+fn one_rule_deleted_mutants_of_nonempty_e_specs_diverge() {
+    for stem in ["e1", "e3", "e4", "e5", "e6", "e7"] {
+        let src = fs::read_to_string(format!("specs/{stem}.dds")).unwrap();
+        let mut divergent = 0;
+        for i in 0..rule_count(&src) {
+            let mutant = delete_rule(&src, i);
+            let report =
+                run_pair(&src, &mutant, 2).unwrap_or_else(|e| panic!("{stem} minus rule {i}: {e}"));
+            match report.verdict() {
+                "equivalent" => {} // the deleted rule was redundant for reachability
+                "divergent" => {
+                    divergent += 1;
+                    let pair = report.first_divergence().unwrap();
+                    assert_eq!(
+                        pair.witness_side.as_deref(),
+                        Some("a"),
+                        "{stem} minus rule {i}: deleting a rule cannot add reachability"
+                    );
+                    // The witness itself (trace + certified database/run,
+                    // replayed on the intact side) is validated inside the
+                    // equiv pipeline; here we pin that it was produced.
+                    assert!(
+                        pair.trace.is_some(),
+                        "{stem} minus rule {i}: divergence without a witness trace"
+                    );
+                    assert!(
+                        pair.witness_db.is_some() && pair.witness_run.is_some(),
+                        "{stem} minus rule {i}: divergence without a certified witness"
+                    );
+                }
+                other => panic!("{stem} minus rule {i}: undecided verdict `{other}`"),
+            }
+        }
+        assert!(
+            divergent > 0,
+            "{stem}: no single-rule deletion changed the outcome"
+        );
+    }
+}
+
+#[test]
+fn rule_deletions_from_an_empty_spec_stay_equivalent() {
+    let src = fs::read_to_string("specs/e10.dds").unwrap();
+    for i in 0..rule_count(&src) {
+        let mutant = delete_rule(&src, i);
+        let report =
+            run_pair(&src, &mutant, 2).unwrap_or_else(|e| panic!("e10 minus rule {i}: {e}"));
+        assert_eq!(
+            report.verdict(),
+            "equivalent",
+            "e10 minus rule {i}: deleting from an empty system cannot diverge"
+        );
+    }
+}
+
+/// Reads the `# equiv-expect:` stamp from a pair's `_a` file.
+fn stamp_of(path: &Path) -> String {
+    let src = fs::read_to_string(path).unwrap();
+    src.lines()
+        .next()
+        .and_then(|l| l.strip_prefix("# equiv-expect: "))
+        .unwrap_or_else(|| panic!("{}: missing `# equiv-expect:` header", path.display()))
+        .trim()
+        .to_owned()
+}
+
+#[test]
+fn pinned_pair_corpus_decides_its_stamped_verdicts() {
+    let pairs: Vec<PathBuf> = spec_files("specs/equiv")
+        .into_iter()
+        .filter(|p| p.to_str().unwrap().ends_with("_a.dds"))
+        .collect();
+    assert!(pairs.len() >= 8, "pair corpus shrank to {}", pairs.len());
+    for path_a in pairs {
+        let path_b = PathBuf::from(path_a.to_str().unwrap().replace("_a.dds", "_b.dds"));
+        assert!(path_b.is_file(), "{}: missing b side", path_b.display());
+        let stamp = stamp_of(&path_a);
+        let stem = path_a.file_stem().unwrap().to_str().unwrap().to_owned();
+        let src_a = fs::read_to_string(&path_a).unwrap();
+        let src_b = fs::read_to_string(&path_b).unwrap();
+        if let Some(code) = stamp.strip_prefix("error:") {
+            match run_pair(&src_a, &src_b, 1) {
+                Err(e) => assert_eq!(e.code(), code, "{stem}: wrong error code ({e})"),
+                Ok(r) => panic!(
+                    "{stem}: expected error `{code}`, got verdict {}",
+                    r.verdict()
+                ),
+            }
+            continue;
+        }
+        let report = run_thread_stable(&src_a, &src_b, &stem);
+        assert_eq!(
+            report.verdict(),
+            stamp,
+            "{stem}: verdict drifted from stamp"
+        );
+        if stamp == "divergent" {
+            let pair = report.first_divergence().unwrap();
+            assert!(pair.witness_side.is_some() && pair.trace.is_some());
+        }
+    }
+}
