@@ -18,17 +18,28 @@
 //!    worker pool really overlaps verifications. Per-request latencies
 //!    from this phase are the *cold* sample.
 //! 3. **Cache-hit replay** — the same heavy specs are replayed
-//!    `--hit-reps` times per client; latencies are the *hit* sample and
-//!    every response must be byte-identical to the cold body (the cache
-//!    stores rendered bytes, so replays are exact).
+//!    `--hit-reps` times per client over one persistent keep-alive
+//!    connection each; latencies are the *hit* sample and every response
+//!    must be byte-identical to the cold body (the cache stores rendered
+//!    bytes, so replays are exact).
 //!
 //! `--gate` enforces the service-level acceptance floor: conformance
 //! clean, peak in-flight ≥ min(clients, workers), and hit p50 at least
 //! 10× faster than cold p50.
+//!
+//! **Soak mode** (`--soak SECS`) replaces the phases with sustained mixed
+//! traffic over a wall-clock budget: each client holds one long-lived
+//! keep-alive connection and fires single verifies, pipelined bursts and
+//! health probes against a small spec mix, reconnecting only when the
+//! daemon closes the socket (request cap / drain). Latencies land in
+//! per-second windows whose p50/p90/p99 become the records of a
+//! `kind: "soak"` document; `--gate` then enforces keep-alive reuse
+//! (requests ≥ 100× connections) and byte-identity of every verify
+//! response with the library run of the same spec.
 
 use std::path::Path;
 use std::sync::{Arc, Barrier, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use dds_cli::render;
 use dds_cli::serve::{client, ServeOptions, Server};
@@ -42,7 +53,9 @@ const USAGE: &str = "usage: serve_load [options]
   --clients N     concurrent client threads (default 8)
   --workers N     server worker threads (default 8)
   --hit-reps N    cache-hit replays per client (default 20)
-  --out PATH      write the serve-load JSON document to PATH
+  --soak SECS     soak mode: sustained mixed keep-alive traffic for SECS
+                  seconds, per-second latency windows (kind \"soak\" doc)
+  --out PATH      write the JSON document to PATH
   --gate          enforce acceptance thresholds (exit 1 on violation)
 ";
 
@@ -53,6 +66,7 @@ struct Args {
     clients: usize,
     workers: usize,
     hit_reps: usize,
+    soak: Option<u64>,
     out: Option<String>,
     gate: bool,
 }
@@ -65,6 +79,7 @@ fn parse_args() -> Result<Args, String> {
         clients: 8,
         workers: 8,
         hit_reps: 20,
+        soak: None,
         out: None,
         gate: false,
     };
@@ -98,6 +113,10 @@ fn parse_args() -> Result<Args, String> {
             }
             "--hit-reps" => {
                 args.hit_reps = need(i)?.parse().map_err(|_| "bad --hit-reps")?;
+                i += 1;
+            }
+            "--soak" => {
+                args.soak = Some(need(i)?.parse().map_err(|_| "bad --soak")?);
                 i += 1;
             }
             "--out" => {
@@ -192,6 +211,310 @@ fn percentile(sorted_ns: &[u128], p: f64) -> u128 {
     sorted_ns[rank.min(sorted_ns.len() - 1)]
 }
 
+/// A cheap spec for soak traffic: the accept state is one transition away,
+/// so a cold run is fast and the cache hit dominates. Distinct `index`
+/// values give distinct system names, hence distinct fingerprints.
+fn soak_spec(index: usize) -> String {
+    format!(
+        "system soak_{index}\n\
+         schema {{\n  relation E/2\n}}\n\
+         class free\n\
+         registers x\n\
+         states {{\n  s0 init\n  acc\n}}\n\
+         rule s0 -> acc: E(x_old, x_new)\n\
+         property reach {{\n  accept acc\n}}\n"
+    )
+}
+
+/// What one soak client brings home.
+struct SoakTotals {
+    /// `(window_index, latency_ns)` per completed request.
+    samples: Vec<(u64, u128)>,
+    requests: u64,
+    connections: u64,
+    mismatches: u64,
+}
+
+const SOAK_SPECS: usize = 6;
+const BURST: usize = 4;
+
+fn run_soak(args: &Args, secs: u64) {
+    println!(
+        "serve_load: soak {secs}s, {} clients, {} workers",
+        args.clients, args.workers
+    );
+
+    // Library references: every verify response must be byte-identical to
+    // these after wall_ns normalization.
+    let mut bodies = Vec::new();
+    let mut refs = Vec::new();
+    for i in 0..SOAK_SPECS {
+        let label = format!("soak_{i}.dds");
+        let text = soak_spec(i);
+        let report = VerifyRequest::new(text.clone())
+            .label(label.clone())
+            .verify()
+            .unwrap_or_else(|e| {
+                eprintln!("serve_load: soak spec {i} failed locally: {e}");
+                std::process::exit(2);
+            })
+            .report;
+        refs.push(render::normalize_wall_ns(&render::json(&[report])));
+        bodies.push(client::verify_body(&text, Some(&label), None));
+    }
+    let bodies = Arc::new(bodies);
+    let refs = Arc::new(refs);
+
+    let server = Server::start(ServeOptions {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: args.workers,
+        ..ServeOptions::default()
+    })
+    .unwrap_or_else(|e| {
+        eprintln!("serve_load: cannot start server: {e}");
+        std::process::exit(2);
+    });
+    let addr = server.addr();
+
+    let start = Instant::now();
+    let deadline = start + Duration::from_secs(secs);
+    let mut handles = Vec::new();
+    for c in 0..args.clients {
+        let bodies = Arc::clone(&bodies);
+        let refs = Arc::clone(&refs);
+        handles.push(std::thread::spawn(move || {
+            let mut totals = SoakTotals {
+                samples: Vec::new(),
+                requests: 0,
+                connections: 0,
+                mismatches: 0,
+            };
+            let connect = |totals: &mut SoakTotals| -> client::Conn {
+                // The daemon is in-process; transient failure here means
+                // the accept queue is momentarily full, so retry briefly.
+                for _ in 0..100 {
+                    if let Ok(conn) = client::Conn::connect(&addr) {
+                        totals.connections += 1;
+                        return conn;
+                    }
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                panic!("soak client {c}: cannot connect to {addr}");
+            };
+            let check = |totals: &mut SoakTotals, resp: &client::Response, s: usize| {
+                totals.requests += 1;
+                if resp.status != 200 || render::normalize_wall_ns(&resp.body) != refs[s] {
+                    if totals.mismatches == 0 {
+                        eprintln!(
+                            "serve_load: SOAK MISMATCH client {c} spec {s} status {}",
+                            resp.status
+                        );
+                    }
+                    totals.mismatches += 1;
+                }
+            };
+            let mut conn = connect(&mut totals);
+            let mut it = 0u64;
+            while Instant::now() < deadline {
+                it += 1;
+                if it % 31 == 0 {
+                    // Health probe mixed into the stream.
+                    let t = Instant::now();
+                    match conn.request("GET", "/health", "") {
+                        Ok(resp) => {
+                            totals.requests += 1;
+                            if resp.status != 200 {
+                                totals.mismatches += 1;
+                            }
+                            totals
+                                .samples
+                                .push((start.elapsed().as_secs(), t.elapsed().as_nanos()));
+                            if resp.closed {
+                                conn = connect(&mut totals);
+                            }
+                        }
+                        Err(_) => conn = connect(&mut totals),
+                    }
+                } else if it % 7 == 0 {
+                    // Pipelined burst: send BURST requests back to back,
+                    // then read BURST responses; latency is measured from
+                    // the start of the burst to each response.
+                    let t = Instant::now();
+                    let picks: Vec<usize> =
+                        (0..BURST).map(|k| (it as usize + k) % SOAK_SPECS).collect();
+                    let mut sent = true;
+                    for &s in &picks {
+                        if conn.send("POST", "/verify", &bodies[s]).is_err() {
+                            sent = false;
+                            break;
+                        }
+                    }
+                    if !sent {
+                        conn = connect(&mut totals);
+                        continue;
+                    }
+                    for (k, &s) in picks.iter().enumerate() {
+                        match conn.recv() {
+                            Ok(resp) => {
+                                check(&mut totals, &resp, s);
+                                totals
+                                    .samples
+                                    .push((start.elapsed().as_secs(), t.elapsed().as_nanos()));
+                                if resp.closed {
+                                    // The daemon hit its request cap; the
+                                    // rest of the burst is lost.
+                                    if k + 1 < picks.len() {
+                                        conn = connect(&mut totals);
+                                    }
+                                    break;
+                                }
+                            }
+                            Err(_) => {
+                                conn = connect(&mut totals);
+                                break;
+                            }
+                        }
+                    }
+                } else {
+                    let s = it as usize % SOAK_SPECS;
+                    let t = Instant::now();
+                    match conn.request("POST", "/verify", &bodies[s]) {
+                        Ok(resp) => {
+                            check(&mut totals, &resp, s);
+                            totals
+                                .samples
+                                .push((start.elapsed().as_secs(), t.elapsed().as_nanos()));
+                            if resp.closed {
+                                conn = connect(&mut totals);
+                            }
+                        }
+                        Err(_) => conn = connect(&mut totals),
+                    }
+                }
+            }
+            totals
+        }));
+    }
+
+    let mut samples: Vec<(u64, u128)> = Vec::new();
+    let mut requests = 0u64;
+    let mut connections = 0u64;
+    let mut soak_mismatches = 0u64;
+    for h in handles {
+        let t = h.join().expect("soak client");
+        samples.extend(t.samples);
+        requests += t.requests;
+        connections += t.connections;
+        soak_mismatches += t.mismatches;
+    }
+    let soak_wall_ns = start.elapsed().as_nanos();
+    let stats = server.shutdown();
+
+    let reuse = requests.checked_div(connections).unwrap_or(0);
+    let rps = if soak_wall_ns > 0 {
+        requests as f64 * 1e9 / soak_wall_ns as f64
+    } else {
+        0.0
+    };
+    println!(
+        "serve_load: soak {requests} requests over {connections} connections (reuse {reuse}x), {rps:.0} req/s, {soak_mismatches} mismatches"
+    );
+    println!(
+        "serve_load: server totals: {} requests, {} verifications, {} engine runs, {} cache hits (rate {:.2})",
+        stats.requests,
+        stats.verifications,
+        stats.engine_runs,
+        stats.cache_hits,
+        stats.cache_hit_rate()
+    );
+
+    // Per-second latency windows plus whole-run aggregates, all in the
+    // shared record shape (`wall_ns` carries the latency, `configs_explored`
+    // the sample count or gauge).
+    let conf_outcome = if soak_mismatches == 0 { "ok" } else { "fail" };
+    let reuse_outcome = if reuse >= 100 { "ok" } else { "fail" };
+    let mut all: Vec<u128> = samples.iter().map(|&(_, ns)| ns).collect();
+    all.sort_unstable();
+    let mut records = vec![
+        render::record("soak::requests", soak_wall_ns, requests, "ok"),
+        render::record("soak::connections", 0, connections, "ok"),
+        render::record("soak::reuse", 0, reuse, reuse_outcome),
+        render::record("soak::conformance", 0, soak_mismatches, conf_outcome),
+        render::record("soak::engine_runs", 0, stats.engine_runs, "ok"),
+        render::record("soak::p50", percentile(&all, 0.5), all.len() as u64, "ok"),
+        render::record("soak::p90", percentile(&all, 0.9), all.len() as u64, "ok"),
+        render::record("soak::p99", percentile(&all, 0.99), all.len() as u64, "ok"),
+    ];
+    for w in 0..=secs {
+        let mut win: Vec<u128> = samples
+            .iter()
+            .filter(|&&(ww, _)| ww == w)
+            .map(|&(_, ns)| ns)
+            .collect();
+        if win.is_empty() {
+            continue;
+        }
+        win.sort_unstable();
+        let n = win.len() as u64;
+        records.push(render::record(
+            &format!("soak::w{w}::p50"),
+            percentile(&win, 0.5),
+            n,
+            "ok",
+        ));
+        records.push(render::record(
+            &format!("soak::w{w}::p90"),
+            percentile(&win, 0.9),
+            n,
+            "ok",
+        ));
+        records.push(render::record(
+            &format!("soak::w{w}::p99"),
+            percentile(&win, 0.99),
+            n,
+            "ok",
+        ));
+    }
+    let doc = render::document("soak", &records);
+    if let Some(out) = &args.out {
+        if let Some(parent) = Path::new(out).parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        std::fs::write(out, &doc).unwrap_or_else(|e| {
+            eprintln!("serve_load: cannot write {out}: {e}");
+            std::process::exit(2);
+        });
+        println!("serve_load: wrote {out}");
+    } else {
+        print!("{doc}");
+    }
+
+    if args.gate {
+        let mut violations = Vec::new();
+        if soak_mismatches != 0 {
+            violations.push(format!(
+                "{soak_mismatches} responses not byte-identical to library runs"
+            ));
+        }
+        if requests < 100 {
+            violations.push(format!("only {requests} requests completed"));
+        }
+        if reuse < 100 {
+            violations.push(format!(
+                "keep-alive reuse {reuse}x < required 100x ({requests} requests / {connections} connections)"
+            ));
+        }
+        if violations.is_empty() {
+            println!("serve_load: GATE OK");
+        } else {
+            for v in &violations {
+                eprintln!("serve_load: GATE VIOLATION: {v}");
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args = match parse_args() {
         Ok(a) => a,
@@ -200,6 +523,11 @@ fn main() {
             std::process::exit(2);
         }
     };
+
+    if let Some(secs) = args.soak {
+        run_soak(&args, secs);
+        return;
+    }
 
     let mut corpus = read_corpus(&args.specs);
     corpus.extend(generated_corpus(args.gen, args.seed));
@@ -310,8 +638,9 @@ fn main() {
         cold_p99 as f64 / 1e6
     );
 
-    // Phase 3: cache-hit replay — same specs, now cached; bodies must be
-    // byte-identical to the cold responses.
+    // Phase 3: cache-hit replay — same specs, now cached, each client on
+    // one persistent keep-alive connection; bodies must be byte-identical
+    // to the cold responses.
     let cold_bodies = Arc::try_unwrap(cold_bodies).unwrap().into_inner().unwrap();
     let cold_bodies = Arc::new(cold_bodies);
     let barrier = Arc::new(Barrier::new(args.clients));
@@ -327,16 +656,20 @@ fn main() {
         let reps = args.hit_reps;
         handles.push(std::thread::spawn(move || {
             let spec = probe_spec(c);
+            let body = client::verify_body(&spec, Some(&format!("probe_{c}")), None);
+            let mut conn = client::Conn::connect(&addr).expect("hit connect");
             barrier.wait();
             let mut local = Vec::with_capacity(reps);
             for _ in 0..reps {
                 let t = Instant::now();
-                let resp = client::verify(&addr, &spec, Some(&format!("probe_{c}")), None)
-                    .expect("hit request");
+                let resp = conn.request("POST", "/verify", &body).expect("hit request");
                 local.push(t.elapsed().as_nanos());
                 assert_eq!(resp.status, 200);
                 if resp.body != cold_bodies[c] {
                     *replay_mismatches.lock().unwrap() += 1;
+                }
+                if resp.closed {
+                    conn = client::Conn::connect(&addr).expect("hit reconnect");
                 }
             }
             hit_ns.lock().unwrap().extend(local);

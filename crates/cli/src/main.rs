@@ -82,6 +82,8 @@ specs failed to load or are not comparable.";
 const SERVE_USAGE: &str = "\
 usage: dds serve [--addr HOST:PORT] [--workers N] [--timeout-ms N]
                  [--max-request-bytes N] [--cache-capacity N]
+                 [--cache-file PATH] [--idle-timeout-ms N]
+                 [--max-conn-requests N]
                  [--threads N] [--chunk-size N] [--max-configs N] [--no-certify]
 
 A long-running verification daemon. POST a .dds spec as JSON and get back
@@ -90,16 +92,25 @@ the same versioned JSON report document `dds verify --json` prints:
   curl -s http://127.0.0.1:7878/verify -d '{\"spec\":\"...\"}'
 
 Endpoints: POST /verify, GET /health, GET /stats, POST /shutdown.
-Identical systems are answered from a content-hash result cache; requests
-beyond the worker queue are shed with 503; a graceful shutdown
-(POST /shutdown) drains queued and in-flight work before exiting.
+Connections are HTTP/1.1 keep-alive by default (pipelining works; send
+`Connection: close` to opt out); identical systems are answered from a
+content-hash result cache; requests beyond the worker queue are shed
+with 503; a graceful shutdown (POST /shutdown) drains queued and
+in-flight work before exiting, persisting the cache if --cache-file is
+set.
 
 OPTIONS
   --addr HOST:PORT       bind address (default 127.0.0.1:7878; :0 = ephemeral)
-  --workers N            worker threads / max concurrent verifications (default 8)
+  --workers N            worker threads / max concurrent connections (default 8)
   --timeout-ms N         per-request verification timeout (default 30000)
   --max-request-bytes N  request body size limit (default 1048576)
   --cache-capacity N     result cache entries, FIFO eviction (default 4096)
+  --cache-file PATH      persist the result cache here on drain and reload
+                         it on start (a stale or corrupt file is discarded)
+  --idle-timeout-ms N    close a keep-alive connection after N ms without a
+                         new request (default 5000)
+  --max-conn-requests N  close a keep-alive connection after N requests
+                         (default 1000)
   --threads N, --chunk-size N, --max-configs N, --no-certify
                          default engine tuning (a request's `options` object
                          overrides per field)";
@@ -361,6 +372,13 @@ fn parse_serve_args(argv: &[String]) -> Result<ServeOptions, String> {
                 opts.max_request_bytes = numeric("--max-request-bytes", it.next())?
             }
             "--cache-capacity" => opts.cache_capacity = numeric("--cache-capacity", it.next())?,
+            "--cache-file" => opts.cache_file = Some(value("--cache-file", it.next())?),
+            "--idle-timeout-ms" => {
+                opts.idle_timeout_ms = numeric("--idle-timeout-ms", it.next())? as u64
+            }
+            "--max-conn-requests" => {
+                opts.max_conn_requests = numeric("--max-conn-requests", it.next())?
+            }
             "--threads" => opts.run.threads = numeric("--threads", it.next())?,
             "--chunk-size" => opts.run.chunk_size = numeric("--chunk-size", it.next())?,
             "--max-configs" => opts.run.max_configs = numeric("--max-configs", it.next())?,
@@ -391,8 +409,9 @@ fn run_serve(argv: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let restored = server.cache_entries();
     println!(
-        "dds serve listening on http://{} ({workers} workers); POST /shutdown to drain",
+        "dds serve listening on http://{} ({workers} workers, {restored} cached responses restored); POST /shutdown to drain",
         server.addr()
     );
     let stats = server.wait();

@@ -1,7 +1,11 @@
 //! Integration tests for `dds serve`: the single-flight cache, structured
-//! failure responses, graceful drain, and byte-identity with the CLI's
-//! `--json` output for the whole `specs/` corpus.
+//! failure responses, graceful drain, byte-identity with the CLI's
+//! `--json` output for the whole `specs/` corpus, and the keep-alive wire
+//! layer — pipelining, framing errors, idle/cap closes, and cache
+//! persistence across restarts.
 
+use std::io::{Read, Write};
+use std::net::TcpStream;
 use std::sync::{Arc, Barrier};
 
 use dds_cli::render;
@@ -244,4 +248,261 @@ fn serve_and_cli_json_are_byte_identical_for_the_spec_corpus() {
         );
     }
     server.shutdown();
+}
+
+/// A cheap spec with a parameterized system name — distinct names give
+/// distinct fingerprints, hence distinct cached bodies.
+fn named_spec(name: &str) -> String {
+    format!(
+        "system {name}\n\
+         schema {{\n  relation E/2\n}}\n\
+         class free\n\
+         registers x\n\
+         states {{\n  start init\n  acc\n}}\n\
+         rule start -> acc: E(x_old, x_new)\n\
+         property reach {{\n  accept acc\n  expect nonempty\n}}\n"
+    )
+}
+
+#[test]
+fn pipelined_requests_are_answered_in_order_and_byte_identical() {
+    let server = start(ServeOptions::default());
+    let addr = server.addr();
+
+    // Sequential reference run: three distinct specs, three labels.
+    let specs: Vec<String> = (0..3).map(|i| named_spec(&format!("pipe_{i}"))).collect();
+    let sequential: Vec<String> = specs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let resp = client::verify(&addr, s, Some(&format!("pipe_{i}.dds")), None).unwrap();
+            assert_eq!(resp.status, 200, "{}", resp.body);
+            resp.body
+        })
+        .collect();
+
+    // Pipelined: all three requests written before any response is read.
+    let mut conn = client::Conn::connect(&addr).expect("connect");
+    for (i, s) in specs.iter().enumerate() {
+        let body = client::verify_body(s, Some(&format!("pipe_{i}.dds")), None);
+        conn.send("POST", "/verify", &body).expect("send");
+    }
+    for (i, want) in sequential.iter().enumerate() {
+        let resp = conn.recv().expect("recv");
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        // Replays of the cached bodies: bit-identical *including*
+        // wall_ns, and in request order (the ids pin which is which).
+        assert_eq!(&resp.body, want, "pipelined response {i} out of order");
+        assert!(resp.body.contains(&format!("pipe_{i}::reach")));
+        assert!(!resp.closed, "keep-alive must survive a pipelined burst");
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.engine_runs, 3);
+    assert_eq!(stats.cache_hits, 3);
+}
+
+#[test]
+fn keep_alive_connection_serves_many_requests() {
+    let server = start(ServeOptions::default());
+    let addr = server.addr();
+
+    let mut conn = client::Conn::connect(&addr).expect("connect");
+    let first = conn.verify(QUICK_SPEC, None, None).expect("first");
+    assert_eq!(first.status, 200, "{}", first.body);
+    for _ in 0..119 {
+        let resp = conn.verify(QUICK_SPEC, None, None).expect("replay");
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, first.body, "cache replays are bit-identical");
+        assert!(!resp.closed);
+    }
+    let resp = conn.request("GET", "/stats", "").expect("stats");
+    assert_eq!(resp.status, 200);
+    assert!(resp.body.contains("\"connections\": 1"), "{}", resp.body);
+
+    let stats = server.shutdown();
+    assert_eq!(stats.connections, 1, "one keep-alive connection");
+    assert_eq!(stats.requests, 121, "120 verifies + 1 stats on it");
+    assert_eq!(stats.engine_runs, 1);
+    assert_eq!(stats.cache_hits, 119);
+}
+
+#[test]
+fn malformed_content_length_is_a_structured_400() {
+    let server = start(ServeOptions::default());
+    let addr = server.addr();
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .write_all(b"POST /verify HTTP/1.1\r\nHost: dds\r\nContent-Length: banana\r\n\r\n")
+        .unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    assert!(raw.starts_with("HTTP/1.1 400 "), "{raw}");
+    assert!(raw.contains("\"code\":\"bad-request\""), "{raw}");
+    assert!(raw.contains("malformed Content-Length"), "{raw}");
+    assert!(raw.contains("Connection: close"), "{raw}");
+
+    let stats = server.shutdown();
+    assert_eq!(stats.rejected, 1);
+    assert_eq!(
+        stats.requests, 1,
+        "a framing error is still a counted request"
+    );
+}
+
+#[test]
+fn oversized_head_is_rejected_without_poisoning_the_server() {
+    let server = start(ServeOptions::default());
+    let addr = server.addr();
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(b"POST /verify HTTP/1.1\r\n").unwrap();
+    // Just over the 16 KiB head cap, without a terminating blank line —
+    // and nothing more, so the server consumes every written byte before
+    // rejecting (a clean FIN, not a reset that could eat the response).
+    for _ in 0..600 {
+        stream
+            .write_all(b"X-Junk: aaaaaaaaaaaaaaaaaaa\r\n")
+            .unwrap();
+    }
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    assert!(raw.starts_with("HTTP/1.1 400 "), "{raw}");
+    assert!(raw.contains("request head too large"), "{raw}");
+    drop(stream);
+
+    // The connection loop is not poisoned: the next client is served.
+    let resp = client::verify(&addr, QUICK_SPEC, None, None).expect("after oversize head");
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    server.shutdown();
+}
+
+#[test]
+fn mid_body_disconnect_does_not_poison_the_server() {
+    let server = start(ServeOptions::default());
+    let addr = server.addr();
+
+    {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"POST /verify HTTP/1.1\r\nHost: dds\r\nContent-Length: 100\r\n\r\nshort")
+            .unwrap();
+        // Drop mid-body: the server sees EOF before the declared length.
+    }
+    // The worker that hit the dead socket lives on and serves the next
+    // connection normally.
+    let resp = client::verify(&addr, QUICK_SPEC, None, None).expect("after disconnect");
+    assert_eq!(resp.status, 200, "{}", resp.body);
+
+    let stats = server.shutdown();
+    assert!(stats.rejected >= 1, "the dead request was rejected");
+    assert!(stats.requests >= stats.rejected, "no stats skew");
+}
+
+#[test]
+fn wrong_method_on_a_known_path_is_405_with_allow() {
+    let server = start(ServeOptions::default());
+    let addr = server.addr();
+
+    // Raw read so the Allow header is visible.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .write_all(b"GET /verify HTTP/1.1\r\nHost: dds\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    assert!(raw.starts_with("HTTP/1.1 405 "), "{raw}");
+    assert!(raw.contains("\r\nAllow: POST\r\n"), "{raw}");
+    assert!(raw.contains("\"code\":\"method-not-allowed\""), "{raw}");
+
+    let resp = client::raw(&addr, "DELETE", "/health", "").expect("405 health");
+    assert_eq!(resp.status, 405, "{}", resp.body);
+
+    // Unknown paths are still 404.
+    let resp = client::raw(&addr, "GET", "/nope", "").expect("404");
+    assert_eq!(resp.status, 404, "{}", resp.body);
+
+    let stats = server.shutdown();
+    assert_eq!(stats.rejected, 3);
+    assert_eq!(stats.requests, 3);
+}
+
+#[test]
+fn idle_and_request_cap_close_keep_alive_connections() {
+    let server = start(ServeOptions {
+        idle_timeout_ms: 200,
+        max_conn_requests: 3,
+        ..ServeOptions::default()
+    });
+    let addr = server.addr();
+
+    // Request cap: the third response announces the close.
+    let mut conn = client::Conn::connect(&addr).expect("connect");
+    for i in 1..=3 {
+        let resp = conn.verify(QUICK_SPEC, None, None).expect("capped");
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.closed, i == 3, "request {i} of a 3-request cap");
+    }
+    assert!(
+        conn.verify(QUICK_SPEC, None, None).is_err(),
+        "the capped connection is gone"
+    );
+
+    // Idle timeout: a connection that sends nothing is closed.
+    let mut idle = client::Conn::connect(&addr).expect("connect");
+    std::thread::sleep(std::time::Duration::from_millis(700));
+    assert!(
+        idle.verify(QUICK_SPEC, None, None).is_err(),
+        "the idle connection is gone"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn cache_file_round_trips_across_a_restart() {
+    let path =
+        std::env::temp_dir().join(format!("dds-serve-cache-test-{}.bin", std::process::id()));
+    let path_str = path.to_str().unwrap().to_owned();
+    let _ = std::fs::remove_file(&path);
+
+    // First daemon: one cold run, then drain (which persists the cache).
+    let server = start(ServeOptions {
+        cache_file: Some(path_str.clone()),
+        ..ServeOptions::default()
+    });
+    let addr = server.addr();
+    let first = client::verify(&addr, QUICK_SPEC, Some("persist.dds"), None).expect("cold");
+    assert_eq!(first.status, 200, "{}", first.body);
+    let stats = server.shutdown();
+    assert_eq!(stats.engine_runs, 1);
+    assert!(path.exists(), "drain persisted the cache");
+
+    // Second daemon: the same spec replays from the persisted cache with
+    // zero engine runs and bit-identical bytes (wall_ns included).
+    let server = start(ServeOptions {
+        cache_file: Some(path_str.clone()),
+        ..ServeOptions::default()
+    });
+    assert_eq!(server.cache_entries(), 1, "restart reloaded the cache");
+    let addr = server.addr();
+    let replay = client::verify(&addr, QUICK_SPEC, Some("persist.dds"), None).expect("replay");
+    assert_eq!(replay.status, 200);
+    assert_eq!(replay.body, first.body, "persisted replay is bit-identical");
+    let stats = server.shutdown();
+    assert_eq!(stats.engine_runs, 0, "answered from the persisted cache");
+    assert_eq!(stats.cache_hits, 1);
+
+    // A stale or corrupt file is discarded wholesale, never trusted.
+    std::fs::write(&path, b"dds-serve-cache 999 schema=9\ngarbage\n").unwrap();
+    let server = start(ServeOptions {
+        cache_file: Some(path_str),
+        ..ServeOptions::default()
+    });
+    assert_eq!(server.cache_entries(), 0, "stale cache file discarded");
+    let addr = server.addr();
+    let resp = client::verify(&addr, QUICK_SPEC, Some("persist.dds"), None).expect("cold again");
+    assert_eq!(resp.status, 200);
+    let stats = server.shutdown();
+    assert_eq!(stats.engine_runs, 1, "the stale file forced a real run");
+    let _ = std::fs::remove_file(&path);
 }
