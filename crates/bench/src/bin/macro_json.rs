@@ -18,6 +18,15 @@
 //!   regressed by more than `DDS_MACRO_MAX_RATIO` (default 3.0) *and* more
 //!   than `DDS_MACRO_FLOOR_MS` (default 250 ms) absolute — macro runs are
 //!   long, so the generous floor keeps shared-runner noise from flapping.
+//!   Gating also runs the **parallel-leg gate** over scenarios whose
+//!   sequential leg clears `DDS_MACRO_PAR_FLOOR_MS` (default 100 ms): the
+//!   aggregate parallel wall time must stay within `DDS_MACRO_PAR_RATIO`
+//!   (default 1.05; multi-core CI can set a sub-1.0 ratio to demand a real
+//!   speedup) of the aggregate sequential time, and no single scenario may
+//!   exceed `DDS_MACRO_PAR_HARD` (default 1.5) times its sequential leg.
+//! * **`--widths PATH`**: writes the per-scenario BFS layer-width
+//!   histograms (`EngineStats::layer_widths`, log2 buckets) plus the
+//!   aggregate `par_speedup` as a JSON artifact for CI upload.
 //! * **Mint** (`--mint`): regenerates the pinned suite from
 //!   `dds_gen::macro_suite()`, stamps each scenario's verified outcome as
 //!   an `expect` line, and (re)writes `<dir>/<id>.dds`. The suite is
@@ -48,6 +57,9 @@ struct Record {
     seq_wall_ns: u128,
     /// Reference wall time from `--scoped-ref`, if present.
     scoped_wall_ns: Option<u128>,
+    /// Log2-bucketed BFS layer-width histogram (`EngineStats::layer_widths`)
+    /// — deterministic, so identical on both legs.
+    layer_widths: [u64; 16],
 }
 
 fn env_or<T: std::str::FromStr>(name: &str, default: T) -> T {
@@ -139,7 +151,9 @@ fn run_one(path: &str, threads: usize, reps: u32) -> Record {
             .verify()
             .unwrap_or_else(|e| fail(&e.to_string()))
     });
-    let (seq_wall_ns, seq) = measure(1, || {
+    // The same rep count as the parallel leg: the par gate compares the two
+    // minima, and a min-of-N vs single-shot comparison would bias it.
+    let (seq_wall_ns, seq) = measure(reps, || {
         req.clone()
             .options(seq_opts)
             .verify()
@@ -180,6 +194,11 @@ fn run_one(path: &str, threads: usize, reps: u32) -> Record {
         outcome: p.outcome.clone(),
         seq_wall_ns,
         scoped_wall_ns: None,
+        layer_widths: p
+            .stats
+            .as_ref()
+            .map(|s| s.layer_widths.0)
+            .unwrap_or_default(),
     }
 }
 
@@ -284,12 +303,112 @@ fn gate(records: &[Record], baseline_path: &str) -> Result<(), String> {
     }
 }
 
+/// Aggregate parallel speedup over the measurable scenarios: total
+/// sequential wall time divided by total parallel wall time, counting only
+/// scenarios whose sequential leg clears `floor_ns` (fast scenarios are
+/// dominated by fixed costs and noise, not by the scheduler).
+fn par_speedup(records: &[Record], floor_ns: u128) -> Option<f64> {
+    let (seq, par) = records
+        .iter()
+        .filter(|r| r.seq_wall_ns >= floor_ns)
+        .fold((0u128, 0u128), |(s, p), r| {
+            (s + r.seq_wall_ns, p + r.wall_ns)
+        });
+    (par > 0).then(|| seq as f64 / par as f64)
+}
+
+/// The parallel-leg gate, over scenarios whose sequential leg is slow
+/// enough to measure (`DDS_MACRO_PAR_FLOOR_MS`, default 100 ms):
+///
+/// * the *aggregate* parallel wall time must satisfy
+///   `sum(wall_ns) <= sum(seq_wall_ns) * DDS_MACRO_PAR_RATIO` (default
+///   1.05 — threads may never lose overall; multi-core CI runners can set
+///   a sub-1.0 ratio to demand a genuine speedup), and
+/// * no single scenario may exceed `DDS_MACRO_PAR_HARD` (default 1.5)
+///   times its sequential leg — a backstop for scheduler pathologies that
+///   an aggregate would average away.
+///
+/// Per-scenario timing ratios flap with noise (thin-layer scenarios
+/// inline every layer, so their two legs do identical work), which is why
+/// the tight ratio applies to the sum and only the loose one per scenario.
+fn gate_par(records: &[Record]) -> Result<(), String> {
+    let max_ratio: f64 = env_or("DDS_MACRO_PAR_RATIO", 1.05);
+    let hard_ratio: f64 = env_or("DDS_MACRO_PAR_HARD", 1.5);
+    let floor_ns: u128 = env_or::<u128>("DDS_MACRO_PAR_FLOOR_MS", 100) * 1_000_000;
+    let mut failures = Vec::new();
+    let (mut seq_total, mut par_total) = (0u128, 0u128);
+    for r in records {
+        if r.seq_wall_ns < floor_ns {
+            continue;
+        }
+        seq_total += r.seq_wall_ns;
+        par_total += r.wall_ns;
+        let ratio = r.wall_ns as f64 / r.seq_wall_ns.max(1) as f64;
+        let verdict = if ratio > hard_ratio {
+            failures.push(r.id.clone());
+            "SLOWER"
+        } else {
+            "ok"
+        };
+        eprintln!(
+            "par-gate: {:28} {:>12} ns parallel vs {:>12} ns sequential  ({ratio:.2}x) {verdict}",
+            r.id, r.wall_ns, r.seq_wall_ns
+        );
+    }
+    if let Some(speedup) = par_speedup(records, floor_ns) {
+        eprintln!("par-gate: aggregate par_speedup = {speedup:.2}x (scenarios >= {floor_ns} ns sequential)");
+    }
+    if !failures.is_empty() {
+        return Err(format!(
+            "macro parallel gate failed (single scenario > {hard_ratio}x its sequential leg): {failures:?}"
+        ));
+    }
+    if par_total as f64 > seq_total as f64 * max_ratio {
+        return Err(format!(
+            "macro parallel gate failed: aggregate {par_total} ns parallel > {max_ratio}x aggregate {seq_total} ns sequential"
+        ));
+    }
+    Ok(())
+}
+
+/// Writes the width-histogram artifact: one log2-bucketed BFS layer-width
+/// histogram per scenario plus the aggregate `par_speedup`, for the CI
+/// macro-bench job to upload.
+fn write_widths(path: &str, records: &[Record]) -> std::io::Result<()> {
+    let floor_ns: u128 = env_or::<u128>("DDS_MACRO_PAR_FLOOR_MS", 100) * 1_000_000;
+    let speedup = par_speedup(records, floor_ns)
+        .map(|s| format!("{s:.4}"))
+        .unwrap_or_else(|| "null".into());
+    let scenarios: Vec<String> = records
+        .iter()
+        .map(|r| {
+            let buckets: Vec<String> = r.layer_widths.iter().map(u64::to_string).collect();
+            format!(
+                "{{\"id\":\"{}\",\"layers\":{},\"layer_widths\":[{}]}}",
+                r.id,
+                r.layer_widths.iter().sum::<u64>(),
+                buckets.join(",")
+            )
+        })
+        .collect();
+    std::fs::write(
+        path,
+        format!(
+            "{{\"schema_version\":{},\"kind\":\"macro-widths\",\"par_speedup\":{},\"scenarios\":[\n{}\n]}}\n",
+            render::SCHEMA_VERSION,
+            speedup,
+            scenarios.join(",\n")
+        ),
+    )
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut dir = "bench/macro".to_owned();
     let mut out_path = "MACRO_BENCH.json".to_owned();
     let mut gate_path = None;
     let mut scoped_ref = None;
+    let mut widths_path = None;
     let mut do_mint = false;
     let mut threads: usize = env_or("DDS_MACRO_THREADS", 4);
     let mut i = 0;
@@ -316,6 +435,10 @@ fn main() {
                 scoped_ref = Some(take(i, "--scoped-ref"));
                 i += 2;
             }
+            "--widths" => {
+                widths_path = Some(take(i, "--widths"));
+                i += 2;
+            }
             "--threads" => {
                 threads = take(i, "--threads")
                     .parse()
@@ -329,7 +452,7 @@ fn main() {
             other => {
                 eprintln!(
                     "usage: macro_json [--dir DIR] [--out PATH] [--gate BASELINE.json] \
-                     [--mint] [--threads N] [--scoped-ref OLD.json]"
+                     [--mint] [--threads N] [--scoped-ref OLD.json] [--widths PATH]"
                 );
                 fail(&format!("unknown argument: {other}"));
             }
@@ -359,9 +482,21 @@ fn main() {
     }
     write_json(&out_path, &records).expect("write results");
     eprintln!("wrote {} records to {out_path}", records.len());
+    if let Some(w) = widths_path {
+        write_widths(&w, &records).expect("write widths artifact");
+        eprintln!("wrote width histograms to {w}");
+    }
     if let Some(b) = gate_path {
+        let mut failed = false;
         if let Err(msg) = gate(&records, &b) {
             eprintln!("{msg}");
+            failed = true;
+        }
+        if let Err(msg) = gate_par(&records) {
+            eprintln!("{msg}");
+            failed = true;
+        }
+        if failed {
             std::process::exit(1);
         }
     }

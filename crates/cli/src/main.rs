@@ -10,7 +10,7 @@
 //! OPTIONS
 //!   --json            emit JSON records (the BENCH_E1_E10.json shape)
 //!   --out PATH        also write the rendered output to PATH
-//!   --threads N       persistent engine workers (default 1; 0 = all cores)
+//!   --threads N|auto  persistent engine workers (default auto: all cores)
 //!   --chunk-size N    steal granularity: tasks per claim from a worker's
 //!                     frontier queue (default auto: 4 chunks per worker)
 //!   --max-configs N   exploration budget (default 1000000)
@@ -41,14 +41,14 @@ struct Args {
     options: RunOptions,
 }
 
-const USAGE: &str = "usage: dds <verify|check> [--json] [--out PATH] [--threads N] \
+const USAGE: &str = "usage: dds <verify|check> [--json] [--out PATH] [--threads N|auto] \
                      [--chunk-size N] [--max-configs N] [--no-certify] [--timings] FILE...\n\
                      \x20      dds equiv [EQUIV-OPTIONS] A B  (see `dds equiv --help`)\n\
                      \x20      dds fuzz [FUZZ-OPTIONS]    (see `dds fuzz --help`)\n\
                      \x20      dds serve [SERVE-OPTIONS]  (see `dds serve --help`)";
 
 const EQUIV_USAGE: &str = "\
-usage: dds equiv [--json] [--out PATH] [--bisim] [--up-to N] [--threads N]
+usage: dds equiv [--json] [--out PATH] [--bisim] [--up-to N] [--threads N|auto]
                  [--chunk-size N] [--no-certify] [--timings] A.dds B.dds
 
 Decides whether two .dds specs over the same schema and class reach the
@@ -73,8 +73,8 @@ OPTIONS
                   (stricter than outcome equivalence; implies it)
   --json          emit the versioned JSON document (kind \"equiv\")
   --out PATH      also write the rendered output to PATH
-  --threads N, --chunk-size N, --max-configs N, --no-certify, --timings
-                  as in `dds verify`
+  --threads N|auto, --chunk-size N, --max-configs N, --no-certify,
+  --timings       as in `dds verify` (threads default to auto: all cores)
 
 Exit codes: 0 equivalent, 1 divergent or undecided at the bound, 2 the
 specs failed to load or are not comparable.";
@@ -84,7 +84,7 @@ usage: dds serve [--addr HOST:PORT] [--workers N] [--timeout-ms N]
                  [--max-request-bytes N] [--cache-capacity N]
                  [--cache-file PATH] [--idle-timeout-ms N]
                  [--max-conn-requests N]
-                 [--threads N] [--chunk-size N] [--max-configs N] [--no-certify]
+                 [--threads N|auto] [--chunk-size N] [--max-configs N] [--no-certify]
 
 A long-running verification daemon. POST a .dds spec as JSON and get back
 the same versioned JSON report document `dds verify --json` prints:
@@ -111,9 +111,10 @@ OPTIONS
                          new request (default 5000)
   --max-conn-requests N  close a keep-alive connection after N requests
                          (default 1000)
-  --threads N, --chunk-size N, --max-configs N, --no-certify
+  --threads N|auto, --chunk-size N, --max-configs N, --no-certify
                          default engine tuning (a request's `options` object
-                         overrides per field)";
+                         overrides per field; threads default to auto: all
+                         cores, reported by GET /stats)";
 
 const FUZZ_USAGE: &str = "\
 usage: dds fuzz [--mode diff|equiv] [--seed N] [--iters N] [--class LIST]
@@ -163,6 +164,18 @@ OPTIONS
   --json            emit the versioned JSON report document instead of text
   --inject-failure CLASS:ITER
                     test hook: force one iteration to fail (diff mode)";
+
+/// Parses a `--threads` value: the literal `auto` (all hardware threads,
+/// spelled `0` internally — see `EngineOptions::resolved_threads`) or an
+/// explicit worker count.
+fn parse_threads(flag: &str, v: Option<&String>, usage: &str) -> Result<usize, String> {
+    let word = v.ok_or_else(|| format!("{flag} needs a value\n{usage}"))?;
+    if word == "auto" {
+        return Ok(0);
+    }
+    word.parse()
+        .map_err(|_| format!("{flag} needs a number or `auto`\n{usage}"))
+}
 
 fn parse_fuzz_args(argv: &[String]) -> Result<FuzzOptions, String> {
     let mut opts = FuzzOptions::default();
@@ -288,7 +301,9 @@ fn parse_equiv_args(argv: &[String]) -> Result<EquivArgs, String> {
             "--bisim" => args.bisim = true,
             "--no-certify" => args.options.concretize = false,
             "--out" => args.out = Some(it.next().ok_or("--out needs a PATH")?.clone()),
-            "--threads" => args.options.threads = numeric("--threads", it.next())?,
+            "--threads" => {
+                args.options.threads = parse_threads("--threads", it.next(), EQUIV_USAGE)?
+            }
             "--chunk-size" => args.options.chunk_size = numeric("--chunk-size", it.next())?,
             "--max-configs" => args.options.max_configs = numeric("--max-configs", it.next())?,
             "--up-to" => args.options.max_configs = numeric("--up-to", it.next())?,
@@ -379,7 +394,7 @@ fn parse_serve_args(argv: &[String]) -> Result<ServeOptions, String> {
             "--max-conn-requests" => {
                 opts.max_conn_requests = numeric("--max-conn-requests", it.next())?
             }
-            "--threads" => opts.run.threads = numeric("--threads", it.next())?,
+            "--threads" => opts.run.threads = parse_threads("--threads", it.next(), SERVE_USAGE)?,
             "--chunk-size" => opts.run.chunk_size = numeric("--chunk-size", it.next())?,
             "--max-configs" => opts.run.max_configs = numeric("--max-configs", it.next())?,
             "--no-certify" => opts.run.concretize = false,
@@ -448,7 +463,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--timings" => args.timings = true,
             "--no-certify" => args.options.concretize = false,
             "--out" => args.out = Some(it.next().ok_or("--out needs a PATH")?.clone()),
-            "--threads" => args.options.threads = numeric("--threads", it.next())?,
+            "--threads" => args.options.threads = parse_threads("--threads", it.next(), USAGE)?,
             "--chunk-size" => args.options.chunk_size = numeric("--chunk-size", it.next())?,
             "--max-configs" => args.options.max_configs = numeric("--max-configs", it.next())?,
             flag if flag.starts_with("--") => {

@@ -10,7 +10,9 @@ use std::time::Instant;
 /// Engine tuning exposed on the `dds` command line.
 #[derive(Clone, Copy, Debug)]
 pub struct RunOptions {
-    /// Worker threads (`dds_core::EngineOptions::threads`).
+    /// Worker threads (`dds_core::EngineOptions::threads`; `0` = auto, the
+    /// CLI default — resolve to all hardware threads via
+    /// `std::thread::available_parallelism`).
     pub threads: usize,
     /// Frontier chunk size (`dds_core::EngineOptions::chunk_size`).
     pub chunk_size: usize,
@@ -24,7 +26,11 @@ impl Default for RunOptions {
     fn default() -> RunOptions {
         let d = EngineOptions::default();
         RunOptions {
-            threads: d.get_threads(),
+            // The CLI defaults to `auto` (0): outcomes are bit-identical at
+            // every thread count, so the daemon and one-shot runs may as
+            // well use the hardware. The library `EngineOptions` default
+            // stays 1 for embedders who want the pure sequential path.
+            threads: 0,
             chunk_size: d.get_chunk_size(),
             max_configs: d.get_max_configs(),
             concretize: d.get_concretize(),

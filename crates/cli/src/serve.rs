@@ -1071,11 +1071,15 @@ fn verify_cached(
 fn stats_json(shared: &Arc<Shared>) -> String {
     let s = *shared.stats.lock().unwrap();
     let cache_entries = shared.cache.lock().unwrap().map.len();
+    // The worker count the engine actually uses for this daemon's default
+    // options (`--threads auto` resolves to the hardware thread count).
+    let engine_threads = shared.opts.run.engine_options().resolved_threads();
     let e = s.engine;
     format!(
         "{{\n\
          \"schema_version\": {},\n\
          \"kind\": \"stats\",\n\
+         \"engine_threads\": {engine_threads},\n\
          \"requests\": {},\n\
          \"connections\": {},\n\
          \"verifications\": {},\n\
@@ -1116,7 +1120,7 @@ fn stats_json(shared: &Arc<Shared>) -> String {
 /// A minimal blocking HTTP client for the daemon — shared by the load
 /// harness, the serve tests and the CI smoke job so nobody re-implements
 /// the wire format. The free functions open one connection per request
-/// (`Connection: close`); [`Conn`] is the persistent keep-alive client
+/// (`Connection: close`); [`client::Conn`] is the persistent keep-alive client
 /// with pipelining support.
 pub mod client {
     use super::*;

@@ -172,6 +172,14 @@ fn health_and_stats_report_the_service_counters() {
     let resp = client::stats(&addr).expect("stats");
     assert_eq!(resp.status, 200);
     assert!(resp.body.contains("\"kind\": \"stats\""), "{}", resp.body);
+    // The default `--threads auto` resolves to the hardware thread count —
+    // always at least one worker.
+    assert!(resp.body.contains("\"engine_threads\": "), "{}", resp.body);
+    assert!(
+        !resp.body.contains("\"engine_threads\": 0"),
+        "{}",
+        resp.body
+    );
     assert!(resp.body.contains("\"engine_runs\": 1"), "{}", resp.body);
     assert!(resp.body.contains("\"cache_hits\": 1"), "{}", resp.body);
     assert!(resp.body.contains("\"cache_hit_rate\""), "{}", resp.body);

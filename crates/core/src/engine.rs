@@ -40,8 +40,38 @@
 //!   statistics (up to wall-clock timings and steal counts) and
 //!   certificates are bit-identical to the sequential engine, because the
 //!   merge performs the identical sequence of dedup probes, arena pushes
-//!   and counter updates — workers only *precompute* pure successor sets
-//!   into per-task slots, and which worker computed a slot never matters.
+//!   and counter updates — workers only *precompute* pure data into
+//!   per-task slots, and which worker computed a slot never matters.
+//!
+//! The parallel path moves the expensive per-successor work off the
+//! coordinator while keeping that bit-identity:
+//!
+//! * **Worker-side resolution**: inside their tasks, workers canonicalize
+//!   successors (the class's `transitions` returns canonical forms),
+//!   compute the 64-bit probe hash, and pre-resolve each successor against
+//!   the layer-start snapshot of the sharded [`Interner`] and the visited
+//!   bitmaps — both move into the epoch wholesale, no clone, no lock. The
+//!   coordinator's merge then handles each successor as a `Resolved`
+//!   verdict: a snapshot-visited id is counted without re-probing, a known
+//!   id goes straight to the bitmap, and only genuinely fresh
+//!   configurations are interned (with their precomputed hash). Because
+//!   the merge replays tasks in arena order and ids are assigned at global
+//!   insertion order regardless of the interner's shard count, the id
+//!   sequence — and everything downstream of it — is exactly the
+//!   sequential one.
+//! * **Adaptive layer scheduling** ([`ParallelMode`], the default): the
+//!   per-layer `EpochGate` publish/wake/merge round-trip costs tens of
+//!   microseconds, which the macro suite showed *losing* to sequential on
+//!   narrow layers. The scheduler keeps an exponential moving average of
+//!   observed per-task expansion cost and runs a layer inline on the
+//!   coordinator when its estimated work would not pay for the round-trip
+//!   (or when the OS reports a single hardware thread). The chunk size of
+//!   published layers scales with layer width (`TaskQueues::auto_chunk`).
+//! * **Overlapped certification**: when the outcome of a layer is already
+//!   decided — a multi-target hit, or a single-target accept that no
+//!   budget stop can preempt — witness concretization and certification
+//!   run on a scoped thread concurrently with the remaining search/merge
+//!   instead of serializing after it.
 //!
 //! On a non-empty answer the engine extracts the trace and asks the class to
 //! *concretize* it into an actual database and run, then re-validates the
@@ -51,20 +81,48 @@
 //! Existential guards are accepted and compiled away up front (Fact 2).
 
 use crate::class::{SymbolicClass, Trace, TraceStep};
-use crate::intern::{ConfigId, Interner};
+use crate::intern::{ConfigId, Interner, DEFAULT_SHARDS};
 use crate::pool::{EpochGate, TaskQueues};
 use dds_structure::Structure;
 use dds_system::{eliminate_existentials, Run, StateId, System};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
+use std::thread::{Scope, ScopedJoinHandle};
 use std::time::Instant;
 
-/// Default steal granularity: with `chunk_size = 0` each layer is cut into
-/// about this many chunks per worker, so a worker that drew cheap tasks can
-/// steal meaningful slices from one stuck on a hub state's expansions while
-/// claim traffic stays a few atomic ops per layer.
-const CHUNKS_PER_WORKER: usize = 4;
+/// Estimated layer work (tasks × EMA per-task nanoseconds) below which the
+/// adaptive scheduler keeps a layer on the coordinator: the epoch
+/// publish/wake/merge round-trip costs on the order of 10–50 µs, so a layer
+/// has to carry several times that in expansion work before fan-out wins.
+const PAR_LAYER_MIN_NS: f64 = 150_000.0;
+
+/// With no cost sample yet, the adaptive scheduler publishes a layer only
+/// when it is at least this wide (narrow early layers are where the
+/// round-trip loss concentrates; one inline layer then seeds the EMA).
+const PAR_COLD_MIN_TASKS: usize = 32;
+
+/// How the parallel engine (`threads >= 2`) decides whether a BFS layer is
+/// published to the worker pool or expanded inline on the coordinator.
+///
+/// Every mode produces bit-identical outcomes — the choice only moves work
+/// between the epoch path and the coordinator, never changes what the merge
+/// does. [`EngineStats::layers_inline`] / [`EngineStats::layers_parallel`]
+/// report the split.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ParallelMode {
+    /// Publish a layer only when its estimated work (per-task cost EMA ×
+    /// task count) exceeds the epoch round-trip cost, and never on a
+    /// single-hardware-thread machine. The default.
+    #[default]
+    Adaptive,
+    /// Publish every layer with more than one task (the pre-adaptive
+    /// behavior; used by the determinism matrix to force the epoch path).
+    Eager,
+    /// Never publish — the workers stay parked for the whole search. The
+    /// lower bound the adaptive mode is measured against.
+    Inline,
+}
 
 /// Tunables for the search.
 ///
@@ -97,6 +155,12 @@ pub struct EngineOptions {
     /// time for memory on searches with little guard reuse; outcomes are
     /// unaffected either way.
     transition_cache: bool,
+    /// Interner shard count (`0` = the default,
+    /// [`crate::intern::DEFAULT_SHARDS`]). Never affects id assignment or
+    /// outcomes — only probe locality and growth granularity.
+    shards: usize,
+    /// Layer scheduling policy for the parallel path.
+    parallel_mode: ParallelMode,
 }
 
 impl Default for EngineOptions {
@@ -107,6 +171,8 @@ impl Default for EngineOptions {
             threads: 1,
             chunk_size: 0,
             transition_cache: true,
+            shards: 0,
+            parallel_mode: ParallelMode::Adaptive,
         }
     }
 }
@@ -140,6 +206,37 @@ impl EngineOptions {
         self.transition_cache
     }
 
+    /// Reads the configured interner shard count (`0` = default).
+    pub fn get_shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Reads the parallel layer-scheduling mode.
+    pub fn get_parallel_mode(&self) -> ParallelMode {
+        self.parallel_mode
+    }
+
+    /// The worker-thread count the engine will actually use: `threads` as
+    /// configured, with `0` resolved through
+    /// [`std::thread::available_parallelism`] (falling back to `1` when the
+    /// OS cannot say). This is what `dds serve` reports in `/stats`.
+    pub fn resolved_threads(&self) -> usize {
+        match self.threads {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
+        }
+    }
+
+    /// The interner shard count the engine will actually use.
+    pub fn resolved_shards(&self) -> usize {
+        match self.shards {
+            0 => DEFAULT_SHARDS,
+            n => n,
+        }
+    }
+
     /// Sets the exploration budget ([`EngineOptions::max_configs`]).
     pub fn max_configs(mut self, n: usize) -> Self {
         self.max_configs = n;
@@ -171,19 +268,66 @@ impl EngineOptions {
         self.transition_cache = yes;
         self
     }
+
+    /// Sets the interner shard count ([`EngineOptions::shards`]; `0` =
+    /// default).
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = n;
+        self
+    }
+
+    /// Sets the parallel layer-scheduling mode
+    /// ([`EngineOptions::parallel_mode`]).
+    pub fn parallel_mode(mut self, mode: ParallelMode) -> Self {
+        self.parallel_mode = mode;
+        self
+    }
+}
+
+/// Per-layer frontier-width histogram: bucket `b` counts BFS layers whose
+/// width (nodes in the layer) lies in `[2^b, 2^(b+1))`, with the top bucket
+/// open-ended. Deterministic — the width of every layer is a search
+/// invariant, recorded at the same point by the sequential and parallel
+/// paths — so it participates in [`EngineStats`] equality and the macro
+/// suite can publish it per scenario.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LayerWidths(pub [u64; 16]);
+
+impl LayerWidths {
+    /// Records one layer of `width` nodes (`width >= 1`; a zero width is
+    /// clamped defensively).
+    pub fn record(&mut self, width: usize) {
+        let bucket = (usize::BITS - 1 - width.max(1).leading_zeros()).min(15) as usize;
+        self.0[bucket] += 1;
+    }
+
+    /// Element-wise accumulation (used by [`EngineStats::merge`]).
+    pub fn merge(&mut self, other: &LayerWidths) {
+        for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Total layers recorded.
+    pub fn total(&self) -> u64 {
+        self.0.iter().sum()
+    }
 }
 
 /// Search statistics, reported with every outcome (experiment E4 plots
 /// these against the paper's `log n · poly(blowup(2k))` bound).
 ///
 /// All fields except the `*_ns` wall-clock timings, the scheduling
-/// counters ([`EngineStats::tasks_stolen`]) and the allocator diagnostics
-/// ([`EngineStats::scratch_allocs`], [`EngineStats::scratch_reuses`]) are
-/// **deterministic**: they depend only on the class, the system,
-/// `max_configs` and `transition_cache`, never on `threads` or
-/// `chunk_size` (`transition_cache_hits` is identically zero with the memo
-/// disabled). Equality (`==`) compares exactly the deterministic fields,
-/// so outcome comparisons across worker counts are meaningful.
+/// counters ([`EngineStats::tasks_stolen`], [`EngineStats::layers_inline`],
+/// [`EngineStats::layers_parallel`], [`EngineStats::shard_contention`]) and
+/// the allocator diagnostics ([`EngineStats::scratch_allocs`],
+/// [`EngineStats::scratch_reuses`]) are **deterministic**: they depend only
+/// on the class, the system, `max_configs` and `transition_cache`, never on
+/// `threads`, `chunk_size`, `shards` or the [`ParallelMode`]
+/// (`transition_cache_hits` is identically zero with the memo disabled).
+/// Equality (`==`) compares exactly the deterministic fields — including
+/// the per-layer width histogram [`EngineStats::layer_widths`] — so outcome
+/// comparisons across worker counts are meaningful.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct EngineStats {
     /// Distinct initial `(state, config)` pairs.
@@ -218,9 +362,37 @@ pub struct EngineStats {
     pub expand_ns: u64,
     /// Wall time pool workers spent parked between layer epochs.
     pub idle_ns: u64,
+    /// Coordinator wall time replaying published layers' deterministic
+    /// merges (the serial section the worker-side resolution shrinks).
+    /// Inline layers do not accrue here — their cost shows in `expand_ns`.
+    /// A measurement, **not** deterministic.
+    pub merge_ns: u64,
+    /// Worker wall time hashing canonical successors and pre-resolving them
+    /// against the layer-start interner/visited snapshots (inside tasks, so
+    /// it overlaps across workers). A measurement, **not** deterministic.
+    pub canon_ns: u64,
+    /// Collision probe steps in the sharded interner's slot tables
+    /// (worker-side lookups plus merge-side interns). Depends on which
+    /// layers were published and on the shard count, so **not**
+    /// deterministic across engine configurations.
+    pub shard_contention: u64,
+    /// Layers the adaptive scheduler expanded inline on the coordinator
+    /// (`threads >= 2` only; identically zero on the sequential path). A
+    /// scheduling measurement, **not** deterministic.
+    pub layers_inline: u64,
+    /// Layers published to the worker pool as epochs. Together with
+    /// [`EngineStats::layers_inline`] this makes a fully-inline run
+    /// distinguishable from one that actually fanned out. **Not**
+    /// deterministic.
+    pub layers_parallel: u64,
+    /// Per-layer frontier-width histogram (deterministic; compared by
+    /// `==`).
+    pub layer_widths: LayerWidths,
     /// Wall time of the whole search (excluding certification).
     pub search_ns: u64,
-    /// Wall time concretizing and certifying the witness.
+    /// Wall time concretizing and certifying the witness. In the parallel
+    /// engine certification may overlap the search on a scoped thread, so
+    /// `search_ns + certify_ns` can exceed the end-to-end wall time.
     pub certify_ns: u64,
 }
 
@@ -253,6 +425,12 @@ impl EngineStats {
         self.scratch_reuses += other.scratch_reuses;
         self.expand_ns += other.expand_ns;
         self.idle_ns += other.idle_ns;
+        self.merge_ns += other.merge_ns;
+        self.canon_ns += other.canon_ns;
+        self.shard_contention += other.shard_contention;
+        self.layers_inline += other.layers_inline;
+        self.layers_parallel += other.layers_parallel;
+        self.layer_widths.merge(&other.layer_widths);
         self.search_ns += other.search_ns;
         self.certify_ns += other.certify_ns;
     }
@@ -271,6 +449,7 @@ impl PartialEq for EngineStats {
             && self.dedup_hits == other.dedup_hits
             && self.dedup_probes == other.dedup_probes
             && self.levels == other.levels
+            && self.layer_widths == other.layer_widths
     }
 }
 impl Eq for EngineStats {}
@@ -428,21 +607,122 @@ struct Node {
     parent: Option<(usize, usize)>,
 }
 
+/// A worker's verdict on one canonical successor, resolved inside the task
+/// against the layer-start snapshots so the coordinator's merge only has to
+/// probe or insert.
+///
+/// Soundness of each variant at merge time:
+/// * `Visited` — the visited bit was set at layer start and bits are never
+///   cleared, so the merge can count the dedup hit without re-probing.
+///   Emitted only with the transition memo on, where the task's rule is
+///   guaranteed to be the rule of the merge occurrence that consumes the
+///   slot (both sides pick the *first* `(config, guard)` occurrence in
+///   arena order, so the target state matches).
+/// * `Interned` — ids are never reassigned, so the id is still right; the
+///   merge probes the authoritative bitmap (the bit may have been set
+///   since the snapshot).
+/// * `Fresh` — the value was absent at layer start; the merge interns it
+///   with the precomputed hash. Merge order equals sequential order, so a
+///   value two tasks both saw as fresh gets its id at the first merge
+///   occurrence and the second intern finds it — id assignment is exactly
+///   the sequential one.
+#[derive(Clone)]
+enum Resolved<Cfg> {
+    /// Already visited for the task's target state at layer start.
+    Visited(ConfigId),
+    /// Interned at layer start, visitedness unknown.
+    Interned(ConfigId),
+    /// Not interned at layer start; carries the precomputed probe hash.
+    Fresh(Cfg, u64),
+}
+
+/// One rule expansion's successors as the merge receives them: raw
+/// canonical configurations (sequential and inline layers) or worker
+/// pre-resolved verdicts (published layers). Both forms merge to identical
+/// ids, probes and pushes — see [`Resolved`].
+enum SuccSet<Cfg> {
+    Raw(Vec<Cfg>),
+    Pre(Vec<Resolved<Cfg>>),
+}
+
+/// What an overlapped certification thread hands back: the certified trace,
+/// the witness, and the nanoseconds certification took.
+type CertResult<Cfg> = (Trace<Cfg>, Option<(Structure, Run)>, u64);
+
+/// A published layer's per-task result slots, as recovered from the epoch:
+/// one [`OnceLock`] per `(configuration, rule)` expansion, each written by
+/// exactly one claimant.
+type ResolvedSlots<Cfg> = Vec<OnceLock<Vec<Resolved<Cfg>>>>;
+
 /// One BFS layer's speculative workload, published to the worker pool.
 ///
-/// The layer's whole [`Interner`] *moves* into the epoch (and back out when
-/// the coordinator recovers sole ownership at the done barrier), so workers
-/// resolve [`ConfigId`]s by plain shared reads — no clone of the arena, no
-/// lock on the hot path. Successor sets land in per-task [`OnceLock`]
-/// slots; every slot is written by exactly one claimant.
+/// The layer's whole [`Interner`] and visited bitmaps *move* into the epoch
+/// (and back out when the coordinator recovers sole ownership at the done
+/// barrier), so workers resolve successors by plain shared reads — no clone
+/// of the arena, no lock on the hot path. Resolved successor sets land in
+/// per-task [`OnceLock`] slots; every slot is written by exactly one
+/// claimant.
 struct Epoch<Cfg> {
     interner: Interner<Cfg>,
+    /// Layer-start snapshot of the per-state visited bitmaps.
+    visited: Vec<Vec<u64>>,
     /// The layer's distinct uncached `(configuration, rule)` expansions.
     tasks: Vec<(ConfigId, usize)>,
     queues: TaskQueues,
-    results: Vec<OnceLock<Vec<Cfg>>>,
+    results: Vec<OnceLock<Vec<Resolved<Cfg>>>>,
+    /// Whether workers may pre-resolve against the visited snapshot (sound
+    /// only with the transition memo on; see [`Resolved::Visited`]).
+    resolve_visited: bool,
     /// Nanoseconds participants spent draining (summed), for `expand_ns`.
     busy_ns: AtomicU64,
+    /// Nanoseconds participants spent hashing/pre-resolving (summed).
+    canon_ns: AtomicU64,
+    /// Interner probe collision steps observed by participants (summed).
+    contention: AtomicU64,
+}
+
+/// The adaptive scheduler's running estimate of per-task expansion cost,
+/// fed by both inline and published layers. Purely a heuristic: it decides
+/// *where* a layer runs, never what the merge does, so a cold or skewed
+/// estimate costs time, not correctness.
+struct CostModel {
+    /// Exponential moving average of nanoseconds per task; `0.0` = no
+    /// sample yet.
+    est_task_ns: f64,
+}
+
+impl CostModel {
+    fn new() -> CostModel {
+        CostModel { est_task_ns: 0.0 }
+    }
+
+    /// Feeds one layer's measured expansion cost (summed across whoever
+    /// expanded it) into the average.
+    fn observe(&mut self, tasks: usize, total_ns: u64) {
+        if tasks == 0 {
+            return;
+        }
+        let per = total_ns as f64 / tasks as f64;
+        self.est_task_ns = if self.est_task_ns == 0.0 {
+            per
+        } else {
+            0.5 * self.est_task_ns + 0.5 * per
+        };
+    }
+
+    /// Whether a layer of `tasks` expansions is worth an epoch round-trip
+    /// on a machine with `hw_threads` hardware threads.
+    fn worthwhile(&self, tasks: usize, hw_threads: usize) -> bool {
+        if hw_threads <= 1 {
+            // Workers would time-slice the coordinator's core; the
+            // round-trip can only lose.
+            return false;
+        }
+        if self.est_task_ns == 0.0 {
+            return tasks >= PAR_COLD_MIN_TASKS;
+        }
+        tasks as f64 * self.est_task_ns >= PAR_LAYER_MIN_NS
+    }
 }
 
 /// The mutable search state shared by the sequential and parallel paths.
@@ -479,6 +759,13 @@ fn push_successors(
             stats.dedup_hits += 1;
         }
     }
+}
+
+/// Read-only probe of a visited snapshot: true when `(q, id)` is marked.
+fn is_visited(visited: &[Vec<u64>], q: StateId, id: ConfigId) -> bool {
+    let bits = &visited[q.index()];
+    let word = id.index() / 64;
+    word < bits.len() && bits[word] & (1u64 << (id.index() % 64)) != 0
 }
 
 /// Marks `(q, id)` visited; true when it was not visited before.
@@ -539,12 +826,7 @@ impl<'a, C: SymbolicClass> Engine<'a, C> {
     }
 
     fn effective_threads(&self) -> usize {
-        match self.options.threads {
-            0 => std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
-            n => n,
-        }
+        self.options.resolved_threads()
     }
 
     /// Decides emptiness.
@@ -572,7 +854,7 @@ impl<'a, C: SymbolicClass> Engine<'a, C> {
     fn init_search(&self) -> Search<C::Config> {
         let k = self.compiled.num_registers();
         let mut s = Search {
-            interner: Interner::new(),
+            interner: Interner::with_shards(self.options.resolved_shards()),
             visited: vec![Vec::new(); self.compiled.num_states()],
             arena: Vec::new(),
             cache: HashMap::new(),
@@ -604,11 +886,20 @@ impl<'a, C: SymbolicClass> Engine<'a, C> {
     /// them through the visited set into the arena. Both engine paths funnel
     /// every arena/stats mutation through this function, which is what makes
     /// them bit-identical.
+    ///
+    /// `compute` hands back either raw canonical successors
+    /// ([`SuccSet::Raw`] — sequential path and inline layers, interned here
+    /// in list order) or worker pre-resolved verdicts ([`SuccSet::Pre`] —
+    /// published layers). The two forms perform the identical sequence of
+    /// id assignments, bitmap probes and arena pushes: interning never
+    /// touches the bitmaps and probing never interns, so resolving each
+    /// successor fully before the next (the `Pre` loop) commutes with the
+    /// `Raw` path's intern-all-then-probe-all order.
     fn merge_node(
         &self,
         s: &mut Search<C::Config>,
         idx: usize,
-        compute: &mut impl FnMut(&Interner<C::Config>, ConfigId, usize) -> Vec<C::Config>,
+        compute: &mut impl FnMut(&Interner<C::Config>, ConfigId, usize) -> SuccSet<C::Config>,
     ) {
         let state = s.arena[idx].state;
         let cfg = s.arena[idx].cfg;
@@ -636,22 +927,61 @@ impl<'a, C: SymbolicClass> Engine<'a, C> {
                 }
             }
             let t0 = Instant::now();
-            let raw = compute(&s.interner, cfg, rule_idx);
+            let set = compute(&s.interner, cfg, rule_idx);
             s.stats.expand_ns += t0.elapsed().as_nanos() as u64;
-            let mut v = Vec::with_capacity(raw.len());
-            for succ in raw {
-                v.push(s.interner.intern(succ).0);
-            }
-            let ids: Box<[ConfigId]> = v.into();
-            push_successors(
-                &mut s.visited,
-                &mut s.arena,
-                &mut s.stats,
-                &ids,
-                to,
-                idx,
-                rule_idx,
-            );
+            let ids: Box<[ConfigId]> = match set {
+                SuccSet::Raw(raw) => {
+                    let mut v = Vec::with_capacity(raw.len());
+                    for succ in raw {
+                        v.push(s.interner.intern(succ).0);
+                    }
+                    let ids: Box<[ConfigId]> = v.into();
+                    push_successors(
+                        &mut s.visited,
+                        &mut s.arena,
+                        &mut s.stats,
+                        &ids,
+                        to,
+                        idx,
+                        rule_idx,
+                    );
+                    ids
+                }
+                SuccSet::Pre(pre) => {
+                    let mut v = Vec::with_capacity(pre.len());
+                    for entry in pre {
+                        let id = match entry {
+                            Resolved::Visited(id) => {
+                                // Pre-probed against the layer-start
+                                // snapshot; bits are never cleared, so this
+                                // is still a dedup hit.
+                                s.stats.dedup_probes += 1;
+                                s.stats.dedup_hits += 1;
+                                v.push(id);
+                                continue;
+                            }
+                            Resolved::Interned(id) => id,
+                            Resolved::Fresh(succ, hash) => {
+                                s.interner
+                                    .intern_prehashed(succ, hash, &mut s.stats.shard_contention)
+                                    .0
+                            }
+                        };
+                        s.stats.dedup_probes += 1;
+                        if visit(&mut s.visited, to, id) {
+                            s.arena.push(Node {
+                                state: to,
+                                cfg: id,
+                                parent: Some((idx, rule_idx)),
+                            });
+                        } else {
+                            s.stats.dedup_hits += 1;
+                        }
+                        v.push(id);
+                    }
+                    v.into()
+                }
+            };
             if self.options.transition_cache {
                 s.cache.insert(key, ids);
             }
@@ -663,8 +993,10 @@ impl<'a, C: SymbolicClass> Engine<'a, C> {
     fn run_sequential(&self) -> Outcome<C::Config> {
         let mut s = self.init_search();
         let mut compute = |interner: &Interner<C::Config>, cfg: ConfigId, rule_idx: usize| {
-            self.class
-                .transitions(interner.get(cfg), &self.compiled.rules()[rule_idx].guard)
+            SuccSet::Raw(
+                self.class
+                    .transitions(interner.get(cfg), &self.compiled.rules()[rule_idx].guard),
+            )
         };
         let mut head = 0;
         let mut level_end = 0;
@@ -672,6 +1004,7 @@ impl<'a, C: SymbolicClass> Engine<'a, C> {
             if head == level_end {
                 s.stats.levels += 1;
                 level_end = s.arena.len();
+                s.stats.layer_widths.record(level_end - head);
             }
             let idx = head;
             head += 1;
@@ -707,7 +1040,7 @@ impl<'a, C: SymbolicClass> Engine<'a, C> {
                     }
                 });
             }
-            let out = self.parallel_search(&gate, threads);
+            let out = self.parallel_search(&gate, threads, scope);
             gate.shutdown();
             out
         });
@@ -717,11 +1050,13 @@ impl<'a, C: SymbolicClass> Engine<'a, C> {
 
     /// Drains one epoch as participant `me`: claims chunks from its own
     /// queue, then steals from the others ([`TaskQueues::claim`]). Pure
-    /// speculation — successor sets land in per-task [`OnceLock`] slots and
-    /// nothing else is touched, so racy claim order cannot leak into the
-    /// deterministic merge.
+    /// speculation — per-task [`Resolved`] verdicts land in [`OnceLock`]
+    /// slots and nothing else is touched, so racy claim order cannot leak
+    /// into the deterministic merge.
     fn drain_epoch(&self, epoch: &Epoch<C::Config>, me: usize) {
         let t0 = Instant::now();
+        let mut canon = 0u64;
+        let mut steps = 0u64;
         while let Some(range) = epoch.queues.claim(me) {
             for i in range {
                 let (cfg, rule_idx) = epoch.tasks[i];
@@ -729,29 +1064,159 @@ impl<'a, C: SymbolicClass> Engine<'a, C> {
                     epoch.interner.get(cfg),
                     &self.compiled.rules()[rule_idx].guard,
                 );
+                // Pre-resolve each canonical successor against the
+                // layer-start snapshots: hash once, classify as
+                // visited/interned/fresh, so the merge only probes/inserts.
+                let tc = Instant::now();
+                let to = self.compiled.rules()[rule_idx].to;
+                let mut resolved = Vec::with_capacity(succs.len());
+                for succ in succs {
+                    let hash = Interner::hash_value(&succ);
+                    let verdict = match epoch.interner.lookup_prehashed(&succ, hash, &mut steps) {
+                        Some(id) if epoch.resolve_visited && is_visited(&epoch.visited, to, id) => {
+                            Resolved::Visited(id)
+                        }
+                        Some(id) => Resolved::Interned(id),
+                        None => Resolved::Fresh(succ, hash),
+                    };
+                    resolved.push(verdict);
+                }
+                canon += tc.elapsed().as_nanos() as u64;
                 // Each task index is claimed exactly once, so the slot is
                 // always empty here.
-                let _ = epoch.results[i].set(succs);
+                let _ = epoch.results[i].set(resolved);
             }
         }
         epoch
             .busy_ns
             .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        epoch.canon_ns.fetch_add(canon, Ordering::Relaxed);
+        epoch.contention.fetch_add(steps, Ordering::Relaxed);
     }
 
-    /// The coordinator's level-synchronous search loop. Each layer's
-    /// uncached `(configuration, guard)` expansions are published to the
-    /// pool as an epoch (the whole interner moves into it and back out — no
-    /// clone, no lock) and drained cooperatively, coordinator included; a
-    /// sequential merge then replays the layer in arena order, performing
-    /// the identical probe/push/count sequence as
-    /// [`Engine::run_sequential`] — so every outcome, trace and
-    /// deterministic statistic is bit-identical.
-    fn parallel_search(
+    /// Decides where a layer runs ([`ParallelMode`]) and, when published,
+    /// drives the epoch to completion: the interner and visited bitmaps
+    /// move into the epoch, every participant (coordinator included)
+    /// drains tasks, and the moved state plus per-task resolved slots come
+    /// back out. Returns `None` when the layer stays inline — the merge's
+    /// fallback then computes raw successors on the coordinator, which is
+    /// the sequential path verbatim.
+    fn expand_layer(
         &self,
         gate: &EpochGate<Epoch<C::Config>>,
         threads: usize,
+        hw_threads: usize,
+        s: &mut Search<C::Config>,
+        tasks: Vec<(ConfigId, usize)>,
+        cost: &mut CostModel,
+    ) -> Option<ResolvedSlots<C::Config>> {
+        let publish = tasks.len() > 1
+            && match self.options.parallel_mode {
+                ParallelMode::Inline => false,
+                ParallelMode::Eager => true,
+                ParallelMode::Adaptive => cost.worthwhile(tasks.len(), hw_threads),
+            };
+        if !publish {
+            s.stats.layers_inline += 1;
+            return None;
+        }
+        s.stats.layers_parallel += 1;
+        let n_tasks = tasks.len();
+        let chunk = if self.options.chunk_size > 0 {
+            self.options.chunk_size
+        } else {
+            TaskQueues::auto_chunk(n_tasks, threads)
+        };
+        let epoch = Arc::new(Epoch {
+            interner: std::mem::take(&mut s.interner),
+            visited: std::mem::take(&mut s.visited),
+            queues: TaskQueues::split(n_tasks, threads, chunk),
+            results: std::iter::repeat_with(OnceLock::new)
+                .take(n_tasks)
+                .collect(),
+            tasks,
+            resolve_visited: self.options.transition_cache,
+            busy_ns: AtomicU64::new(0),
+            canon_ns: AtomicU64::new(0),
+            contention: AtomicU64::new(0),
+        });
+        gate.publish(Arc::clone(&epoch), threads - 1);
+        self.drain_epoch(&epoch, 0);
+        gate.wait_done();
+        let Ok(done) = Arc::try_unwrap(epoch) else {
+            unreachable!("workers returned their epoch references at the done barrier")
+        };
+        s.interner = done.interner;
+        s.visited = done.visited;
+        let busy = done.busy_ns.load(Ordering::Relaxed);
+        s.stats.expand_ns += busy;
+        s.stats.canon_ns += done.canon_ns.load(Ordering::Relaxed);
+        s.stats.shard_contention += done.contention.load(Ordering::Relaxed);
+        s.stats.tasks_stolen += done.queues.stolen();
+        cost.observe(n_tasks, busy);
+        Some(done.results)
+    }
+
+    /// True when the merge of the current layer is guaranteed to reach the
+    /// accepting node at `accept_idx`: even if every pre-accept expansion
+    /// pushed all of its successors, the arena cannot exceed `max_configs`
+    /// at any budget check before the accept. Requires every pre-accept
+    /// successor count to be known (memo entry or published result slot),
+    /// so inline layers conservatively return false.
+    fn accept_is_certain(
+        &self,
+        s: &Search<C::Config>,
+        task_of: &HashMap<(u32, u32), usize>,
+        results: Option<&ResolvedSlots<C::Config>>,
+        level_start: usize,
+        accept_idx: usize,
+    ) -> bool {
+        let Some(results) = results else {
+            return false;
+        };
+        let mut bound = s.arena.len();
+        for idx in level_start..accept_idx {
+            let node = &s.arena[idx];
+            for &rule_idx in &self.rules_by_state[node.state.index()] {
+                let key = (node.cfg.0, self.guard_class[rule_idx as usize]);
+                let n = if let Some(ids) = s.cache.get(&key) {
+                    ids.len()
+                } else if let Some(&t) = task_of.get(&key) {
+                    match results[t].get() {
+                        Some(v) => v.len(),
+                        None => return false,
+                    }
+                } else {
+                    return false;
+                };
+                bound += n;
+                if bound > self.options.max_configs {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// The coordinator's level-synchronous search loop. Each worthwhile
+    /// layer's uncached `(configuration, guard)` expansions are published
+    /// to the pool as an epoch (the whole interner and visited bitmaps move
+    /// into it and back out — no clone, no lock) and drained cooperatively,
+    /// coordinator included; a sequential merge then replays the layer in
+    /// arena order, performing the identical probe/push/count sequence as
+    /// [`Engine::run_sequential`] — so every outcome, trace and
+    /// deterministic statistic is bit-identical. Layers below the adaptive
+    /// threshold run inline on the coordinator through the very same merge.
+    fn parallel_search<'env, 'scope>(
+        &'env self,
+        gate: &EpochGate<Epoch<C::Config>>,
+        threads: usize,
+        scope: &'scope Scope<'scope, 'env>,
     ) -> Outcome<C::Config> {
+        let hw_threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let mut cost = CostModel::new();
         let mut s = self.init_search();
         let mut level_start = 0usize;
         loop {
@@ -761,15 +1226,19 @@ impl<'a, C: SymbolicClass> Engine<'a, C> {
                 return Outcome::Empty { stats: s.stats };
             }
             s.stats.levels += 1;
+            s.stats.layer_widths.record(level_end - level_start);
 
             // Collect this layer's distinct uncached expansions, in order.
             // The merge below returns at the layer's first accepting node,
             // so nodes at or past it are deterministically never expanded —
             // don't speculate on them.
+            let mut accept_at: Option<usize> = None;
             let mut task_of: HashMap<(u32, u32), usize> = HashMap::new();
             let mut tasks: Vec<(ConfigId, usize)> = Vec::new();
-            for node in &s.arena[level_start..level_end] {
+            for idx in level_start..level_end {
+                let node = &s.arena[idx];
                 if self.compiled.is_accepting(node.state) {
+                    accept_at = Some(idx);
                     break;
                 }
                 for &rule_idx in &self.rules_by_state[node.state.index()] {
@@ -784,59 +1253,77 @@ impl<'a, C: SymbolicClass> Engine<'a, C> {
                 }
             }
 
-            // Publish the layer to the pool and drain it cooperatively. A
-            // single-task layer skips the epoch entirely — the merge's
-            // fallback computes it inline, cheaper than waking workers that
-            // have nothing to steal.
-            let mut results: Vec<OnceLock<Vec<C::Config>>> = std::iter::repeat_with(OnceLock::new)
-                .take(tasks.len())
-                .collect();
-            if tasks.len() > 1 {
-                let chunk = if self.options.chunk_size > 0 {
-                    self.options.chunk_size
-                } else {
-                    tasks.len().div_ceil(threads * CHUNKS_PER_WORKER)
+            let n_tasks = tasks.len();
+            let mut results =
+                self.expand_layer(gate, threads, hw_threads, &mut s, tasks, &mut cost);
+            let published = results.is_some();
+
+            // Certification overlap: the merge below will accept at
+            // `accept_at` unless a budget stop preempts it. When the
+            // published successor counts prove no stop can, concretize the
+            // witness on a scoped thread concurrent with the merge.
+            let mut pending_cert: Option<(usize, ScopedJoinHandle<'scope, CertResult<C::Config>>)> =
+                None;
+            if let Some(aidx) = accept_at {
+                if self.options.concretize
+                    && self.accept_is_certain(&s, &task_of, results.as_ref(), level_start, aidx)
+                {
+                    let trace = self.trace_to(aidx, &s);
+                    let handle = scope.spawn(move || {
+                        let (witness, certify_ns) = self.certify_witness(&trace);
+                        (trace, witness, certify_ns)
+                    });
+                    pending_cert = Some((aidx, handle));
                 }
-                .max(1);
-                let epoch = Arc::new(Epoch {
-                    interner: std::mem::take(&mut s.interner),
-                    queues: TaskQueues::split(tasks.len(), threads, chunk),
-                    results: std::mem::take(&mut results),
-                    tasks,
-                    busy_ns: AtomicU64::new(0),
-                });
-                gate.publish(Arc::clone(&epoch), threads - 1);
-                self.drain_epoch(&epoch, 0);
-                gate.wait_done();
-                let Ok(done) = Arc::try_unwrap(epoch) else {
-                    unreachable!("workers returned their epoch references at the done barrier")
-                };
-                s.interner = done.interner;
-                s.stats.expand_ns += done.busy_ns.load(Ordering::Relaxed);
-                s.stats.tasks_stolen += done.queues.stolen();
-                results = done.results;
             }
 
             // Deterministic merge: identical order to the sequential path.
             let cache_on = self.options.transition_cache;
             let mut compute = |interner: &Interner<C::Config>, cfg: ConfigId, rule_idx: usize| {
-                let key = (cfg.0, self.guard_class[rule_idx]);
-                let precomputed = match task_of.get(&key) {
-                    // With the memo on, each task is consumed exactly once
-                    // (later occurrences hit the memo); without it, clone so
-                    // repeated occurrences in this layer stay served.
-                    Some(&t) if cache_on => results[t].take(),
-                    Some(&t) => results[t].get().cloned(),
-                    None => None,
-                };
-                precomputed.unwrap_or_else(|| {
-                    self.class
-                        .transitions(interner.get(cfg), &self.compiled.rules()[rule_idx].guard)
-                })
+                let pre = results.as_mut().and_then(|res| {
+                    let key = (cfg.0, self.guard_class[rule_idx]);
+                    match task_of.get(&key) {
+                        // With the memo on, each task is consumed exactly
+                        // once (later occurrences hit the memo); without
+                        // it, clone so repeated occurrences in this layer
+                        // stay served.
+                        Some(&t) if cache_on => res[t].take(),
+                        Some(&t) => res[t].get().cloned(),
+                        None => None,
+                    }
+                });
+                match pre {
+                    Some(entries) => SuccSet::Pre(entries),
+                    None => SuccSet::Raw(
+                        self.class
+                            .transitions(interner.get(cfg), &self.compiled.rules()[rule_idx].guard),
+                    ),
+                }
             };
+            let expand_before = s.stats.expand_ns;
+            let t_merge = Instant::now();
             for idx in level_start..level_end {
                 s.stats.configs_explored += 1;
                 if self.compiled.is_accepting(s.arena[idx].state) {
+                    if let Some((cidx, handle)) = pending_cert.take() {
+                        if cidx == idx {
+                            let (trace, witness, certify_ns) = match handle.join() {
+                                Ok(v) => v,
+                                Err(panic) => std::panic::resume_unwind(panic),
+                            };
+                            let mut stats = s.stats;
+                            stats.unique_configs = s.interner.len();
+                            stats.certify_ns = certify_ns;
+                            return Outcome::NonEmpty {
+                                trace,
+                                witness,
+                                stats,
+                            };
+                        }
+                        // Unreachable by construction (`accept_at` is the
+                        // layer's first accepting node); the speculative
+                        // thread joins at scope exit.
+                    }
                     return self.accept(idx, &s);
                 }
                 if s.arena.len() > self.options.max_configs {
@@ -844,6 +1331,11 @@ impl<'a, C: SymbolicClass> Engine<'a, C> {
                     return Outcome::ResourceLimit { stats: s.stats };
                 }
                 self.merge_node(&mut s, idx, &mut compute);
+            }
+            if published {
+                s.stats.merge_ns += t_merge.elapsed().as_nanos() as u64;
+            } else if n_tasks > 0 {
+                cost.observe(n_tasks, s.stats.expand_ns - expand_before);
             }
             level_start = level_end;
         }
@@ -970,8 +1462,10 @@ impl<'a, C: SymbolicClass> Engine<'a, C> {
         let mut first_hit: Vec<Option<usize>> = vec![None; targets.len()];
         let mut s = self.init_search();
         let mut compute = |interner: &Interner<C::Config>, cfg: ConfigId, rule_idx: usize| {
-            self.class
-                .transitions(interner.get(cfg), &self.compiled.rules()[rule_idx].guard)
+            SuccSet::Raw(
+                self.class
+                    .transitions(interner.get(cfg), &self.compiled.rules()[rule_idx].guard),
+            )
         };
         let mut head = 0;
         let mut level_end = 0;
@@ -980,6 +1474,7 @@ impl<'a, C: SymbolicClass> Engine<'a, C> {
             if head == level_end {
                 s.stats.levels += 1;
                 level_end = s.arena.len();
+                s.stats.layer_widths.record(level_end - head);
             }
             let idx = head;
             head += 1;
@@ -998,7 +1493,7 @@ impl<'a, C: SymbolicClass> Engine<'a, C> {
             }
             self.merge_node(&mut s, idx, &mut compute);
         }
-        self.finish_multi(&first_hit, limited, &s)
+        self.finish_multi(&first_hit, limited, &s, HashMap::new())
     }
 
     /// The `threads >= 2` multi-target path: same persistent pool as
@@ -1018,7 +1513,7 @@ impl<'a, C: SymbolicClass> Engine<'a, C> {
                     }
                 });
             }
-            let out = self.multi_parallel_search(&gate, threads, targets);
+            let out = self.multi_parallel_search(&gate, threads, targets, scope);
             gate.shutdown();
             out
         });
@@ -1026,20 +1521,29 @@ impl<'a, C: SymbolicClass> Engine<'a, C> {
         outcome
     }
 
-    /// Level-synchronous multi-target coordinator loop. Identical epoch
-    /// publication to [`Engine::parallel_search`], except that the layer
+    /// Level-synchronous multi-target coordinator loop. Identical layer
+    /// scheduling to [`Engine::parallel_search`], except that the layer
     /// speculates on *every* node: a target hit does not end the layer's
     /// merge (the node is still expanded), so no node is deterministically
-    /// skipped short of full decision or the budget.
-    fn multi_parallel_search(
-        &self,
+    /// skipped short of full decision or the budget. A hit is final the
+    /// moment it is recorded, so its certification starts immediately on a
+    /// scoped thread, overlapping the rest of the search.
+    fn multi_parallel_search<'env, 'scope>(
+        &'env self,
         gate: &EpochGate<Epoch<C::Config>>,
         threads: usize,
         targets: &[Vec<StateId>],
+        scope: &'scope Scope<'scope, 'env>,
     ) -> MultiOutcome<C::Config> {
+        let hw_threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let mut cost = CostModel::new();
         let masks = self.target_masks(targets);
         let mut undecided: u64 = mask_all(targets.len());
         let mut first_hit: Vec<Option<usize>> = vec![None; targets.len()];
+        let mut cert_handles: Vec<(usize, ScopedJoinHandle<'scope, CertResult<C::Config>>)> =
+            Vec::new();
         let mut s = self.init_search();
         let mut level_start = 0usize;
         let mut limited = false;
@@ -1049,6 +1553,7 @@ impl<'a, C: SymbolicClass> Engine<'a, C> {
                 break;
             }
             s.stats.levels += 1;
+            s.stats.layer_widths.record(level_end - level_start);
 
             // Collect this layer's distinct uncached expansions, in order.
             // Unlike the single-target layer loop there is no accepting
@@ -1069,55 +1574,48 @@ impl<'a, C: SymbolicClass> Engine<'a, C> {
                 }
             }
 
-            let mut results: Vec<OnceLock<Vec<C::Config>>> = std::iter::repeat_with(OnceLock::new)
-                .take(tasks.len())
-                .collect();
-            if tasks.len() > 1 {
-                let chunk = if self.options.chunk_size > 0 {
-                    self.options.chunk_size
-                } else {
-                    tasks.len().div_ceil(threads * CHUNKS_PER_WORKER)
-                }
-                .max(1);
-                let epoch = Arc::new(Epoch {
-                    interner: std::mem::take(&mut s.interner),
-                    queues: TaskQueues::split(tasks.len(), threads, chunk),
-                    results: std::mem::take(&mut results),
-                    tasks,
-                    busy_ns: AtomicU64::new(0),
-                });
-                gate.publish(Arc::clone(&epoch), threads - 1);
-                self.drain_epoch(&epoch, 0);
-                gate.wait_done();
-                let Ok(done) = Arc::try_unwrap(epoch) else {
-                    unreachable!("workers returned their epoch references at the done barrier")
-                };
-                s.interner = done.interner;
-                s.stats.expand_ns += done.busy_ns.load(Ordering::Relaxed);
-                s.stats.tasks_stolen += done.queues.stolen();
-                results = done.results;
-            }
+            let n_tasks = tasks.len();
+            let mut results =
+                self.expand_layer(gate, threads, hw_threads, &mut s, tasks, &mut cost);
+            let published = results.is_some();
 
             // Deterministic merge: identical order to the sequential path.
             let cache_on = self.options.transition_cache;
             let mut compute = |interner: &Interner<C::Config>, cfg: ConfigId, rule_idx: usize| {
-                let key = (cfg.0, self.guard_class[rule_idx]);
-                let precomputed = match task_of.get(&key) {
-                    Some(&t) if cache_on => results[t].take(),
-                    Some(&t) => results[t].get().cloned(),
-                    None => None,
-                };
-                precomputed.unwrap_or_else(|| {
-                    self.class
-                        .transitions(interner.get(cfg), &self.compiled.rules()[rule_idx].guard)
-                })
+                let pre = results.as_mut().and_then(|res| {
+                    let key = (cfg.0, self.guard_class[rule_idx]);
+                    match task_of.get(&key) {
+                        Some(&t) if cache_on => res[t].take(),
+                        Some(&t) => res[t].get().cloned(),
+                        None => None,
+                    }
+                });
+                match pre {
+                    Some(entries) => SuccSet::Pre(entries),
+                    None => SuccSet::Raw(
+                        self.class
+                            .transitions(interner.get(cfg), &self.compiled.rules()[rule_idx].guard),
+                    ),
+                }
             };
+            let expand_before = s.stats.expand_ns;
+            let t_merge = Instant::now();
             for idx in level_start..level_end {
                 s.stats.configs_explored += 1;
                 let hits = masks[s.arena[idx].state.index()] & undecided;
                 if hits != 0 {
                     record_hits(hits, idx, &mut first_hit);
                     undecided &= !hits;
+                    // The hit is final: start concretizing its witness now,
+                    // concurrent with the remaining search.
+                    if self.options.concretize {
+                        let trace = self.trace_to(idx, &s);
+                        let handle = scope.spawn(move || {
+                            let (witness, certify_ns) = self.certify_witness(&trace);
+                            (trace, witness, certify_ns)
+                        });
+                        cert_handles.push((idx, handle));
+                    }
                     if undecided == 0 {
                         break 'search;
                     }
@@ -1128,31 +1626,57 @@ impl<'a, C: SymbolicClass> Engine<'a, C> {
                 }
                 self.merge_node(&mut s, idx, &mut compute);
             }
+            if published {
+                s.stats.merge_ns += t_merge.elapsed().as_nanos() as u64;
+            } else if n_tasks > 0 {
+                cost.observe(n_tasks, s.stats.expand_ns - expand_before);
+            }
             level_start = level_end;
         }
-        self.finish_multi(&first_hit, limited, &s)
+        let mut certified: HashMap<usize, CertResult<C::Config>> = HashMap::new();
+        for (idx, handle) in cert_handles {
+            let result = match handle.join() {
+                Ok(v) => v,
+                Err(panic) => std::panic::resume_unwind(panic),
+            };
+            certified.insert(idx, result);
+        }
+        self.finish_multi(&first_hit, limited, &s, certified)
     }
 
     /// Converts recorded hits into per-target statuses: hit targets get a
     /// trace (and certified witness) to their first-hit node; unhit targets
     /// are `Unreachable` on exhaustion, `Undecided` on a budget stop.
+    /// `certified` carries overlapped certifications already joined by the
+    /// parallel path, keyed by hit node; targets whose node is absent (the
+    /// sequential path, or concretization off) certify here.
     fn finish_multi(
         &self,
         first_hit: &[Option<usize>],
         limited: bool,
         s: &Search<C::Config>,
+        certified: HashMap<usize, CertResult<C::Config>>,
     ) -> MultiOutcome<C::Config> {
         let mut stats = s.stats;
         stats.unique_configs = s.interner.len();
         let mut statuses = Vec::with_capacity(first_hit.len());
-        let mut certify_total = 0u64;
+        // Overlapped certification ran once per hit node; count it once,
+        // however many targets share the node.
+        let mut certify_total: u64 = certified.values().map(|(_, _, ns)| *ns).sum();
         for hit in first_hit {
             statuses.push(match hit {
                 Some(idx) => {
-                    let trace = self.trace_to(*idx, s);
-                    let (witness, certify_ns) = self.certify_witness(&trace);
-                    certify_total += certify_ns;
-                    TargetStatus::Reached { trace, witness }
+                    if let Some((trace, witness, _)) = certified.get(idx) {
+                        TargetStatus::Reached {
+                            trace: trace.clone(),
+                            witness: witness.clone(),
+                        }
+                    } else {
+                        let trace = self.trace_to(*idx, s);
+                        let (witness, certify_ns) = self.certify_witness(&trace);
+                        certify_total += certify_ns;
+                        TargetStatus::Reached { trace, witness }
+                    }
                 }
                 None if limited => TargetStatus::Undecided,
                 None => TargetStatus::Unreachable,

@@ -53,6 +53,16 @@ pub(crate) struct TaskQueues {
 }
 
 impl TaskQueues {
+    /// The automatic steal granularity for a layer of `len` tasks drained
+    /// by `parts` participants, scaled with layer width: wide layers are
+    /// cut finer (about 8 chunks per participant — the claim traffic
+    /// amortizes and skew hurts more), narrow layers coarser (about 4 —
+    /// fewer atomic claims on work that barely covers the participants).
+    pub(crate) fn auto_chunk(len: usize, parts: usize) -> usize {
+        let chunks_per_part = if len >= 1024 { 8 } else { 4 };
+        len.div_ceil(parts.max(1) * chunks_per_part).max(1)
+    }
+
     /// Splits `len` tasks into `parts` contiguous ranges claimed
     /// `chunk`-at-a-time.
     pub(crate) fn split(len: usize, parts: usize, chunk: usize) -> TaskQueues {
@@ -250,6 +260,16 @@ mod tests {
             assert!(seen.iter().all(|&s| s), "len={len} parts={parts}");
             assert!(queues.fully_claimed());
         }
+    }
+
+    #[test]
+    fn auto_chunk_scales_with_layer_width() {
+        // Narrow layers: ~4 chunks per participant, never zero.
+        assert_eq!(TaskQueues::auto_chunk(1, 4), 1);
+        assert_eq!(TaskQueues::auto_chunk(100, 4), 7);
+        // Wide layers: ~8 chunks per participant.
+        assert_eq!(TaskQueues::auto_chunk(4096, 4), 128);
+        assert!(TaskQueues::auto_chunk(1024, 1) >= 128);
     }
 
     #[test]

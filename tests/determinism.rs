@@ -8,11 +8,15 @@
 //! stats-invariant fields (`EngineStats` equality deliberately excludes the
 //! wall-clock timings).
 
-use dds::core::EngineOptions;
+use dds::core::{EngineOptions, ParallelMode};
 use dds::prelude::*;
 
-/// Runs the engine at 1, 2, 4 and 8 workers (plus a tiny-chunk variant) and
-/// asserts every configuration produces the identical outcome.
+/// Runs the engine at 1, 2, 4 and 8 workers crossed with 1, 4 and 16
+/// interner shards (plus a tiny-chunk variant) and asserts every
+/// configuration produces the identical outcome. The matrix runs in
+/// [`ParallelMode::Eager`] so the epoch path is genuinely exercised even on
+/// a single-core host, where the default adaptive scheduler would inline
+/// every layer; the adaptive default is pinned separately at the end.
 fn assert_deterministic<C: SymbolicClass>(class: &C, system: &System, expect_nonempty: bool)
 where
     C::Config: PartialEq,
@@ -20,16 +24,37 @@ where
     let sequential = Engine::new(class, system).run();
     assert_eq!(sequential.is_nonempty(), expect_nonempty);
     for threads in [2usize, 4, 8] {
-        let parallel = Engine::new(class, system)
-            .with_options(EngineOptions::default().threads(threads))
-            .run();
-        assert_eq!(sequential, parallel, "threads = {threads}");
+        for shards in [1usize, 4, 16] {
+            let parallel = Engine::new(class, system)
+                .with_options(
+                    EngineOptions::default()
+                        .threads(threads)
+                        .shards(shards)
+                        .parallel_mode(ParallelMode::Eager),
+                )
+                .run();
+            assert_eq!(
+                sequential, parallel,
+                "threads = {threads}, shards = {shards}"
+            );
+        }
     }
     // Tiny chunks maximize scheduling interleavings; the merge must not care.
     let chunky = Engine::new(class, system)
-        .with_options(EngineOptions::default().threads(3).chunk_size(1))
+        .with_options(
+            EngineOptions::default()
+                .threads(3)
+                .chunk_size(1)
+                .parallel_mode(ParallelMode::Eager),
+        )
         .run();
     assert_eq!(sequential, chunky, "chunk_size = 1");
+    // The adaptive default may inline any subset of layers; the outcome and
+    // the deterministic stats must not care where a layer ran.
+    let adaptive = Engine::new(class, system)
+        .with_options(EngineOptions::default().threads(4))
+        .run();
+    assert_eq!(sequential, adaptive, "adaptive scheduling");
 }
 
 fn graph_schema() -> std::sync::Arc<Schema> {
@@ -293,10 +318,59 @@ fn steal_and_scratch_counters_sane() {
     // but stats equality — which excludes them — still holds, and the
     // steal counter stays within the total task count.
     let parallel = Engine::new(&class, &system)
-        .with_options(EngineOptions::default().threads(4).chunk_size(1))
+        .with_options(
+            EngineOptions::default()
+                .threads(4)
+                .chunk_size(1)
+                .parallel_mode(ParallelMode::Eager),
+        )
         .run();
     assert_eq!(sequential.stats(), parallel.stats());
     assert!(parallel.stats().tasks_stolen <= parallel.stats().configs_explored as u64 * 2);
+}
+
+/// The scheduling counters must distinguish where layers actually ran: a
+/// sequential run touches neither the pool nor the gate; an inline-forced
+/// run keeps workers parked (gate idle time, no steals, no published
+/// layers); an eager run publishes every multi-task layer.
+#[test]
+fn scheduling_counters_distinguish_inline_from_published() {
+    let schema = graph_schema();
+    let system = example1(schema.clone());
+    let class = FreeRelationalClass::new(schema);
+
+    let sequential = Engine::new(&class, &system).run();
+    assert_eq!(sequential.stats().layers_inline, 0);
+    assert_eq!(sequential.stats().layers_parallel, 0);
+    assert_eq!(sequential.stats().tasks_stolen, 0);
+    assert_eq!(sequential.stats().idle_ns, 0);
+    assert_eq!(sequential.stats().merge_ns, 0);
+
+    let inline = Engine::new(&class, &system)
+        .with_options(
+            EngineOptions::default()
+                .threads(4)
+                .parallel_mode(ParallelMode::Inline),
+        )
+        .run();
+    assert_eq!(sequential, inline);
+    assert!(inline.stats().layers_inline > 0, "{:?}", inline.stats());
+    assert_eq!(inline.stats().layers_parallel, 0);
+    assert_eq!(inline.stats().tasks_stolen, 0);
+    assert!(
+        inline.stats().idle_ns > 0,
+        "parked workers must accrue gate idle time"
+    );
+
+    let eager = Engine::new(&class, &system)
+        .with_options(
+            EngineOptions::default()
+                .threads(4)
+                .parallel_mode(ParallelMode::Eager),
+        )
+        .run();
+    assert_eq!(sequential, eager);
+    assert!(eager.stats().layers_parallel > 0, "{:?}", eager.stats());
 }
 
 /// One equiv run at a given worker count; the spec pair is inlined so the
